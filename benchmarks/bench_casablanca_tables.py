@@ -1,0 +1,104 @@
+"""Tables 1–4 of the paper: the Casablanca test case (§4.1).
+
+Regenerates the similarity tables for the atomic predicates (Tables 1–2)
+from the reconstructed metadata through the picture-retrieval system, the
+``eventually`` intermediate (Table 3), and the ranked final result of
+Query 1 (Table 4), asserting exact equality with the published values —
+and benchmarks each stage.
+"""
+
+import pytest
+
+from repro.core.engine import RetrievalEngine
+from repro.core.ops import and_lists, eventually_list
+from repro.core.topk import ranked_entries
+from repro.pictures.retrieval import PictureRetrievalSystem
+from repro.workloads.casablanca import (
+    EVENTUALLY_MOVING_TRAIN_ROWS,
+    MAN_WOMAN_ROWS,
+    MOVING_TRAIN_ROWS,
+    QUERY1_RANKED_ROWS,
+    casablanca_database,
+    expected_eventually_moving_train,
+    expected_query1,
+    man_woman_list,
+    man_woman_query,
+    moving_train_list,
+    moving_train_query,
+    query1,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return casablanca_database()
+
+
+@pytest.fixture(scope="module")
+def pictures(database):
+    video = database.get("making-of-casablanca")
+    return PictureRetrievalSystem(
+        [node.metadata for node in video.nodes_at_level(2)]
+    )
+
+
+def test_table1_moving_train(benchmark, pictures, report):
+    sim = benchmark(pictures.similarity_list, moving_train_query())
+    assert sim == moving_train_list()
+    for begin, end, actual in MOVING_TRAIN_ROWS:
+        report(
+            "Table 1: Moving-Train",
+            {"Start-id": begin, "End-id": end, "Similarity-value": actual},
+        )
+
+
+def test_table2_man_woman(benchmark, pictures, report):
+    sim = benchmark(pictures.similarity_list, man_woman_query())
+    assert sim == man_woman_list()
+    for begin, end, actual in MAN_WOMAN_ROWS:
+        report(
+            "Table 2: Man-Woman",
+            {"Start-id": begin, "End-id": end, "Similarity-value": actual},
+        )
+
+
+def test_table3_eventually_moving_train(benchmark, report):
+    sim = benchmark(eventually_list, moving_train_list())
+    assert sim == expected_eventually_moving_train()
+    for begin, end, actual in EVENTUALLY_MOVING_TRAIN_ROWS:
+        report(
+            "Table 3: eventually Moving-Train",
+            {"Start-id": begin, "End-id": end, "Similarity-value": actual},
+        )
+
+
+def test_table4_query1(benchmark, database, report):
+    engine = RetrievalEngine()
+    video = database.get("making-of-casablanca")
+    formula = query1()
+
+    sim = benchmark(
+        engine.evaluate_video, formula, video, 2, database
+    )
+    assert sim == expected_query1()
+    measured = {
+        (begin, end): actual for begin, end, actual in ranked_entries(sim)
+    }
+    for begin, end, actual in QUERY1_RANKED_ROWS:
+        report(
+            "Table 4: Query 1 final result (ranked)",
+            {
+                "Start": begin,
+                "End": end,
+                "Paper Sim": actual,
+                "Measured Sim": round(measured[(begin, end)], 3),
+            },
+        )
+
+
+def test_table4_via_list_combination(benchmark):
+    """The §4.1 flow exactly: atomic tables in, combined lists out."""
+    mw = man_woman_list()
+    mt = moving_train_list()
+    result = benchmark(lambda: and_lists(mw, eventually_list(mt)))
+    assert result == expected_query1()

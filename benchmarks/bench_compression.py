@@ -1,0 +1,60 @@
+"""Ablation: interval compression of similarity lists.
+
+The whole point of the §3.1 representation is that a similarity list
+stores runs, not segments ("Each such entry indicates that the formula f
+has the fractional similarity value at all the video segments ... between
+them").  This bench quantifies the compression on the §4.2 workloads and
+measures how AND-merge cost scales with *entries* rather than *segments*.
+"""
+
+import pytest
+
+from repro.core.ops import and_lists
+from repro.workloads.synthetic import perf_workload, random_similarity_list
+
+import random
+
+
+@pytest.mark.parametrize("size", (10_000, 100_000))
+def test_compression_ratio(size, report, benchmark):
+    workload = benchmark.pedantic(
+        perf_workload, args=(size,), rounds=1, iterations=1
+    )
+    for name in ("P1", "P2"):
+        sim = workload.lists[name]
+        entries = len(sim)
+        covered = sim.support_size()
+        report(
+            "Ablation: interval compression (entries vs covered segments)",
+            {
+                "Size": size,
+                "List": name,
+                "Entries": entries,
+                "Covered segments": covered,
+                "Segments/entry": f"{covered / entries:.1f}",
+                "vs per-segment rows": f"{covered / entries:.1f}x smaller",
+            },
+        )
+        assert entries < covered  # compression is real on run-structured data
+
+
+@pytest.mark.parametrize("mean_run", (1.0, 4.0, 16.0))
+def test_merge_cost_tracks_entries_not_segments(benchmark, mean_run, report):
+    """Same covered mass, different run structure: longer runs → fewer
+    entries → faster merges, at identical segment coverage."""
+    rng1, rng2 = random.Random(1), random.Random(2)
+    left = random_similarity_list(
+        100_000, mean_run_length=mean_run, rng=rng1
+    )
+    right = random_similarity_list(
+        100_000, mean_run_length=mean_run, rng=rng2
+    )
+    result = benchmark(and_lists, left, right)
+    report(
+        "Ablation: AND-merge cost vs run structure (100k shots)",
+        {
+            "Mean run length": mean_run,
+            "Entries (P1+P2)": len(left) + len(right),
+            "Output entries": len(result),
+        },
+    )

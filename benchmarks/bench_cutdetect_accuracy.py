@@ -1,0 +1,74 @@
+"""Substrate experiment: cut-detection accuracy and throughput.
+
+The Casablanca pipeline starts with cut detection (§4.1, refs [21, 11]).
+The paper does not report detector accuracy; this bench characterises our
+substitute so the substitution in DESIGN.md §3 is quantified: boundary
+recall/precision across within-shot noise levels, plus frames/second.
+"""
+
+import pytest
+
+from repro.analyzer import (
+    ShotSpec,
+    boundary_accuracy,
+    detect_stream,
+    synthesize_stream,
+)
+
+NOISE_LEVELS = (0.005, 0.02, 0.05, 0.1)
+
+
+def shot_plan(seed):
+    import random
+
+    rng = random.Random(seed)
+    return [ShotSpec(rng.randint(8, 40)) for __ in range(40)]
+
+
+@pytest.mark.parametrize("noise", NOISE_LEVELS)
+def test_accuracy_under_noise(noise, report, benchmark):
+    recalls = []
+    precisions = []
+    streams = [
+        synthesize_stream(shot_plan(seed), noise=noise, seed=seed)
+        for seed in range(10)
+    ]
+
+    def detect_all():
+        return [detect_stream(stream) for stream in streams]
+
+    all_shots = benchmark.pedantic(detect_all, rounds=1, iterations=1)
+    for stream, shots in zip(streams, all_shots):
+        recall, precision = boundary_accuracy(shots, stream.boundaries)
+        recalls.append(recall)
+        precisions.append(precision)
+    mean_recall = sum(recalls) / len(recalls)
+    mean_precision = sum(precisions) / len(precisions)
+    report(
+        "Substrate: cut-detection accuracy vs within-shot noise",
+        {
+            "Noise": noise,
+            "Recall": f"{mean_recall:.2%}",
+            "Precision": f"{mean_precision:.2%}",
+        },
+    )
+    # Clean streams segment essentially perfectly; past ~0.05 the
+    # within-shot jitter rivals the signature distances and the twin
+    # thresholds break down (first precision, then recall) - that
+    # breakdown point is the finding this bench records.
+    if noise <= 0.01:
+        assert mean_recall == 1.0
+        assert mean_precision == 1.0
+    elif noise <= 0.02:
+        assert mean_recall >= 0.98
+        assert mean_precision >= 0.98
+    elif noise <= 0.05:
+        assert mean_recall >= 0.75
+    else:
+        assert mean_recall >= 0.35
+
+
+def test_detection_throughput(benchmark):
+    stream = synthesize_stream(shot_plan(99), noise=0.01, seed=99)
+    shots = benchmark(detect_stream, stream)
+    assert len(shots) == 40

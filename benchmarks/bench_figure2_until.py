@@ -1,0 +1,75 @@
+"""Figure 2 of the paper: the UNTIL algorithm's worked example.
+
+Regenerates the output table from the figure's input lists (asserting the
+exact entries) and benchmarks the backward merge on that input and on a
+stretched version of it.
+"""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.core.ops import until_lists, until_runs
+from repro.core.simlist import SimilarityList
+
+L1_RUNS = [Interval(25, 100), Interval(200, 250)]
+L1_LIST = SimilarityList.from_entries(
+    [((25, 100), 18.0), ((200, 250), 18.0)], maximum=20.0
+)
+L2 = SimilarityList.from_entries(
+    [
+        ((10, 50), 10.0),
+        ((55, 60), 15.0),
+        ((90, 110), 12.0),
+        ((125, 175), 10.0),
+    ],
+    maximum=20.0,
+)
+EXPECTED = SimilarityList.from_entries(
+    [
+        ((10, 24), 10.0),
+        ((25, 60), 15.0),
+        ((61, 110), 12.0),
+        ((125, 175), 10.0),
+    ],
+    maximum=20.0,
+)
+
+
+def test_figure2_output(benchmark, report):
+    result = benchmark(until_runs, L1_RUNS, L2)
+    assert result == EXPECTED
+    for entry in result:
+        report(
+            "Figure 2: until example output",
+            {
+                "Interval": f"[{entry.begin} {entry.end}]",
+                "Similarity": f"({entry.actual:g}, 20)",
+            },
+        )
+
+
+def test_figure2_from_thresholded_lists(benchmark):
+    result = benchmark(until_lists, L1_LIST, L2, 0.5)
+    assert result == EXPECTED
+
+
+def test_figure2_stretched(benchmark):
+    """The same structure repeated 500 times along the axis."""
+    period = 300
+    runs = []
+    l2_entries = []
+    for block in range(500):
+        offset = block * period
+        runs.append(Interval(25 + offset, 100 + offset))
+        runs.append(Interval(200 + offset, 250 + offset))
+        l2_entries.extend(
+            [
+                ((10 + offset, 50 + offset), 10.0),
+                ((55 + offset, 60 + offset), 15.0),
+                ((90 + offset, 110 + offset), 12.0),
+                ((125 + offset, 175 + offset), 10.0),
+            ]
+        )
+    l2 = SimilarityList.from_entries(l2_entries, 20.0)
+    result = benchmark(until_runs, runs, l2)
+    assert result.support_size() == 500 * EXPECTED.support_size()

@@ -1,0 +1,47 @@
+"""Ablation: the direct method's linearity claim.
+
+The paper: "It is also to be observed that the time taken by the direct
+method increases linearly with the size which is in confirmity with our
+complexity analysis."  We sweep sizes over a decade and check that the
+per-entry cost stays flat (within noise), for both AND and UNTIL.
+"""
+
+import pytest
+
+from repro.bench.harness import run_direct
+from repro.htl import parse
+from repro.workloads.synthetic import perf_workload
+
+SIZES = (20_000, 40_000, 80_000, 160_000)
+
+
+@pytest.mark.parametrize(
+    "label, formula_text",
+    [("AND", "$P1 and $P2"), ("UNTIL", "$P1 until $P2")],
+)
+def test_direct_linearity(benchmark, label, formula_text, report):
+    formula = parse(formula_text)
+    times = {}
+    for size in SIZES:
+        workload = perf_workload(size)
+        times[size] = run_direct(formula, workload.lists, repeat=5).seconds
+        report(
+            f"Ablation: direct-method scaling ({label})",
+            {
+                "Size": size,
+                "Seconds": f"{times[size]:.5f}",
+                "us/shot": f"{times[size] / size * 1e6:.3f}",
+            },
+        )
+    # Linearity: an 8x size increase should cost within ~3x of 8x (very
+    # loose bound; guards against accidental quadratic behaviour).
+    growth = times[SIZES[-1]] / max(times[SIZES[0]], 1e-9)
+    size_growth = SIZES[-1] / SIZES[0]
+    assert growth < size_growth * 3.0, f"superlinear growth: {growth:.1f}x"
+
+    workload = perf_workload(SIZES[0])
+    benchmark.pedantic(
+        lambda: run_direct(formula, workload.lists, repeat=1).result,
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,61 @@
+"""Table 5 of the paper: performance of ``P1 ∧ P2``, direct vs SQL (§4.2).
+
+Randomly generated data at the paper's sizes (10 000 / 50 000 / 100 000
+shots, ~10% of shots satisfying each predicate).  Absolute times are not
+comparable to 1997 Sybase-on-SUN numbers; the reproduced *shape* is:
+the direct method wins by an order of magnitude and grows linearly with
+size, while the SQL-based method pays per-row materialisation overheads
+(see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.harness import run_direct, run_sql
+from repro.htl import parse
+from repro.workloads.synthetic import PAPER_SIZES, perf_workload
+
+#: Paper Table 5 reference values, seconds on 1997 hardware.
+PAPER_TABLE5 = {10_000: (1.49, 13.37), 50_000: (7.40, 42.61), 100_000: (14.50, 78.94)}
+
+FORMULA = parse("$P1 and $P2")
+
+
+@pytest.fixture(scope="module", params=PAPER_SIZES)
+def workload(request):
+    return perf_workload(request.param)
+
+
+def test_direct_conjunction(benchmark, workload, report):
+    measurement = benchmark.pedantic(
+        lambda: run_direct(FORMULA, workload.lists, repeat=1).result,
+        rounds=5,
+        iterations=1,
+    )
+    direct = run_direct(FORMULA, workload.lists)
+    sql = run_sql(FORMULA, workload.lists, workload.size)
+    assert direct.result == sql.result, "systems disagree"
+    paper_direct, paper_sql = PAPER_TABLE5[workload.size]
+    report(
+        "Table 5: Perf results for P1 AND P2 (seconds)",
+        {
+            "Size": workload.size,
+            "Direct": f"{direct.seconds:.4f}",
+            "SQL-based": f"{sql.seconds:.4f}",
+            "Ratio": f"{sql.seconds / direct.seconds:.1f}x",
+            "Paper Direct": paper_direct,
+            "Paper SQL": paper_sql,
+            "Paper Ratio": f"{paper_sql / paper_direct:.1f}x",
+        },
+    )
+
+
+def test_sql_conjunction(benchmark, workload):
+    system_result = {}
+
+    def run():
+        measurement = run_sql(FORMULA, workload.lists, workload.size)
+        system_result["value"] = measurement.result
+        return measurement.result
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    assert system_result["value"].maximum == pytest.approx(40.0)

@@ -1,0 +1,57 @@
+"""Table 6 of the paper: performance of ``P1 until P2``, direct vs SQL.
+
+Same workloads and presentation as Table 5 (see
+``bench_table5_conjunction.py``); paper reference: direct 1.46/7.35/14.97
+seconds vs SQL 42.14/99.72/134.63 seconds at 10k/50k/100k shots.
+"""
+
+import pytest
+
+from repro.bench.harness import run_direct, run_sql
+from repro.htl import parse
+from repro.workloads.synthetic import PAPER_SIZES, perf_workload
+
+PAPER_TABLE6 = {
+    10_000: (1.46, 42.14),
+    50_000: (7.35, 99.72),
+    100_000: (14.97, 134.63),
+}
+
+FORMULA = parse("$P1 until $P2")
+
+
+@pytest.fixture(scope="module", params=PAPER_SIZES)
+def workload(request):
+    return perf_workload(request.param)
+
+
+def test_direct_until(benchmark, workload, report):
+    benchmark.pedantic(
+        lambda: run_direct(FORMULA, workload.lists, repeat=1).result,
+        rounds=5,
+        iterations=1,
+    )
+    direct = run_direct(FORMULA, workload.lists)
+    sql = run_sql(FORMULA, workload.lists, workload.size)
+    assert direct.result == sql.result, "systems disagree"
+    paper_direct, paper_sql = PAPER_TABLE6[workload.size]
+    report(
+        "Table 6: Perf results for P1 UNTIL P2 (seconds)",
+        {
+            "Size": workload.size,
+            "Direct": f"{direct.seconds:.4f}",
+            "SQL-based": f"{sql.seconds:.4f}",
+            "Ratio": f"{sql.seconds / direct.seconds:.1f}x",
+            "Paper Direct": paper_direct,
+            "Paper SQL": paper_sql,
+            "Paper Ratio": f"{paper_sql / paper_direct:.1f}x",
+        },
+    )
+
+
+def test_sql_until(benchmark, workload):
+    def run():
+        return run_sql(FORMULA, workload.lists, workload.size).result
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.maximum == pytest.approx(20.0)

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures and paper-style result reporting.
+
+Each benchmark registers the rows it measured; at session end the harness
+prints the tables in the layout of the paper's §4 so a run can be read
+side by side with Tables 1–6 and Figure 2.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+
+_collected = {}
+
+
+def record_row(table_name, row):
+    """Benchmarks call this to add one row to a named report table."""
+    _collected.setdefault(table_name, []).append(row)
+
+
+@pytest.fixture
+def report():
+    return record_row
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _collected:
+        return
+    print("\n")
+    print("=" * 72)
+    print("Reproduction report (compare with the paper's §4)")
+    print("=" * 72)
+    for table_name in sorted(_collected):
+        rows = _collected[table_name]
+        print(f"\n--- {table_name} ---")
+        headers = rows[0].keys()
+        print(
+            format_table(
+                list(headers),
+                [[row[column] for column in headers] for row in rows],
+            )
+        )
+    print()

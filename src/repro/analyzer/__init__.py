@@ -1,0 +1,32 @@
+"""Video analyzer substrate: synthetic features, cut detection, annotation."""
+
+from repro.analyzer.annotate import AnnotationRule, VideoAnalyzer
+from repro.analyzer.cutdetect import (
+    CutDetectorConfig,
+    Shot,
+    boundary_accuracy,
+    detect_cuts,
+    detect_stream,
+)
+from repro.analyzer.features import (
+    Frame,
+    FrameStream,
+    ShotSpec,
+    histogram_difference,
+    synthesize_stream,
+)
+
+__all__ = [
+    "Frame",
+    "FrameStream",
+    "ShotSpec",
+    "synthesize_stream",
+    "histogram_difference",
+    "Shot",
+    "CutDetectorConfig",
+    "detect_cuts",
+    "detect_stream",
+    "boundary_accuracy",
+    "VideoAnalyzer",
+    "AnnotationRule",
+]

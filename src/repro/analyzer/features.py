@@ -1,0 +1,107 @@
+"""Synthetic frame features for the cut-detection substrate.
+
+The paper's pipeline segments video into shots "using a method called
+cut-detection [21, 11]" over low-level frame features.  We have no video
+files, so this module synthesises the same signal: a stream of per-frame
+colour histograms where frames within one shot are small perturbations of
+a shot signature, and shot boundaries jump to a fresh signature — exactly
+the structure histogram-difference cut detectors rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+
+#: Number of histogram bins (coarse colour quantisation, as in early
+#: cut-detection work).
+N_BINS = 16
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One synthetic frame: a normalised colour histogram."""
+
+    histogram: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.histogram) != N_BINS:
+            raise WorkloadError(
+                f"frames carry {N_BINS}-bin histograms, got "
+                f"{len(self.histogram)}"
+            )
+
+
+@dataclass(frozen=True)
+class ShotSpec:
+    """Ground truth for one synthetic shot."""
+
+    length: int
+    label: str = ""
+
+
+@dataclass
+class FrameStream:
+    """A synthetic frame sequence with its ground-truth shot boundaries."""
+
+    frames: List[Frame]
+    boundaries: List[int]  # first frame index (0-based) of each shot
+    labels: List[str]
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+def _signature(rng: random.Random) -> List[float]:
+    weights = [rng.random() ** 2 for __ in range(N_BINS)]
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
+def _perturb(
+    signature: Sequence[float], rng: random.Random, noise: float
+) -> tuple:
+    noisy = [
+        max(bin_value + rng.uniform(-noise, noise), 0.0)
+        for bin_value in signature
+    ]
+    total = sum(noisy) or 1.0
+    return tuple(bin_value / total for bin_value in noisy)
+
+
+def synthesize_stream(
+    shots: Sequence[ShotSpec],
+    noise: float = 0.01,
+    seed: Optional[int] = None,
+) -> FrameStream:
+    """Generate frames for the given shots.
+
+    ``noise`` is the within-shot histogram jitter; shot signatures are
+    drawn independently, so boundary jumps dwarf the jitter.
+    """
+    if not shots:
+        raise WorkloadError("a stream needs at least one shot")
+    if any(shot.length < 1 for shot in shots):
+        raise WorkloadError("every shot needs at least one frame")
+    rng = random.Random(seed)
+    frames: List[Frame] = []
+    boundaries: List[int] = []
+    labels: List[str] = []
+    for shot in shots:
+        signature = _signature(rng)
+        boundaries.append(len(frames))
+        labels.append(shot.label)
+        for __ in range(shot.length):
+            frames.append(Frame(_perturb(signature, rng, noise)))
+    return FrameStream(frames=frames, boundaries=boundaries, labels=labels)
+
+
+def histogram_difference(first: Frame, second: Frame) -> float:
+    """L1 distance between histograms, in ``[0, 2]`` — the classic
+    cut-detection dissimilarity."""
+    return sum(
+        abs(a - b) for a, b in zip(first.histogram, second.histogram)
+    )

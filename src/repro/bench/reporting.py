@@ -1,0 +1,72 @@
+"""Paper-style report rendering for experiment outputs.
+
+The paper presents similarity tables as ``Start-id / End-id /
+Similarity-value`` rows (Tables 1–4) and performance results as ``Size /
+Direct Approach / SQL-based`` rows (Tables 5–6); these helpers print the
+same shapes so a run of the benchmark harness can be eyeballed against
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.simlist import SimilarityList
+from repro.core.topk import ranked_entries
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Plain aligned ASCII table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[position]) for position, cell in enumerate(cells)
+        ).rstrip()
+
+    separator = "  ".join("-" * width for width in widths)
+    body = [line(headers), separator]
+    body.extend(line(row) for row in materialised)
+    return "\n".join(body)
+
+
+def similarity_table_text(
+    sim: SimilarityList, title: str = "", ranked: bool = False
+) -> str:
+    """A similarity list in the paper's table layout.
+
+    ``ranked=True`` orders rows by descending similarity (the Table 4
+    presentation); otherwise rows appear in id order (Tables 1–3).
+    """
+    if ranked:
+        triples = ranked_entries(sim)
+    else:
+        triples = [(entry.begin, entry.end, entry.actual) for entry in sim]
+    rows = [
+        (begin, end, f"{actual:.3f}".rstrip("0").rstrip("."))
+        for begin, end, actual in triples
+    ]
+    table = format_table(("Start-id", "End-id", "Similarity-value"), rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def perf_table_text(
+    title: str,
+    rows: Sequence[Tuple[int, float, float]],
+    direct_label: str = "Direct Approach",
+    sql_label: str = "SQL-based",
+) -> str:
+    """A Table 5/6-style performance table (seconds)."""
+    formatted = [
+        (size, f"{direct_time:.4f}", f"{sql_time:.4f}")
+        for size, direct_time, sql_time in rows
+    ]
+    table = format_table(("Size", direct_label, sql_label), formatted)
+    return f"{title}\n{table}"

@@ -1,0 +1,221 @@
+"""Command-line front end: parse, classify, and run HTL queries.
+
+Examples::
+
+    htl-query classify "exists x . eventually present(x)"
+    htl-query run --dataset casablanca \\
+        "atomic('Man-Woman') and eventually atomic('Moving-Train')"
+    htl-query run --dataset western --level frame --top 3 "<formula>"
+    htl-query sql "$P1 until $P2" --size 1000     # show generated SQL
+    htl-query datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.reporting import similarity_table_text
+from repro.core.engine import EngineConfig, RetrievalEngine
+from repro.core.topk import top_k_segments
+from repro.errors import ReproError
+from repro.htl import parse, paper_class, pretty, skeleton_class
+from repro.model.database import VideoDatabase
+from repro.sqlbaseline.system import SQLRetrievalSystem
+from repro.workloads.casablanca import casablanca_database
+from repro.workloads.movies import example_database
+from repro.workloads.synthetic import perf_workload
+
+_DATASETS = {
+    "casablanca": ("making-of-casablanca", casablanca_database),
+    "western": ("western", example_database),
+    "gulf-war": ("gulf-war", example_database),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="htl-query",
+        description="Similarity-based retrieval of videos with HTL queries",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    classify = commands.add_parser(
+        "classify", help="parse a query and report its formula class"
+    )
+    classify.add_argument("query", help="HTL query text")
+
+    explain_cmd = commands.add_parser(
+        "explain", help="show the evaluation plan for a query"
+    )
+    explain_cmd.add_argument("query", help="HTL query text")
+    explain_cmd.add_argument(
+        "--optimize",
+        action="store_true",
+        help="apply the rewrite rules before explaining",
+    )
+
+    run = commands.add_parser("run", help="evaluate a query on a dataset")
+    run.add_argument("query", help="HTL query text")
+    run.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default="casablanca",
+        help="built-in dataset (default: casablanca)",
+    )
+    run.add_argument(
+        "--level",
+        default=None,
+        help="level name or number to assert the query at (default: 2)",
+    )
+    run.add_argument(
+        "--top", type=int, default=0, help="also print the top-k segments"
+    )
+    run.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="until threshold on fractional similarity (default: 0.5)",
+    )
+    run.add_argument(
+        "--join-mode",
+        choices=("inner", "outer"),
+        default="inner",
+        help="paper's inner join or definitional outer join",
+    )
+    run.add_argument(
+        "--ranked", action="store_true", help="order output by similarity"
+    )
+
+    sql = commands.add_parser(
+        "sql", help="show and optionally execute the SQL translation"
+    )
+    sql.add_argument("query", help="type (1) HTL query over $P1, $P2, ...")
+    sql.add_argument(
+        "--size", type=int, default=1000, help="synthetic workload size"
+    )
+    sql.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the script on the mini engine and print the result",
+    )
+
+    commands.add_parser("datasets", help="list built-in datasets")
+    return parser
+
+
+def _resolve_level(video, level_argument: Optional[str]) -> int:
+    if level_argument is None:
+        return min(2, video.n_levels)
+    if level_argument.isdigit():
+        return int(level_argument)
+    return video.level_of(level_argument)
+
+
+def cmd_classify(arguments: argparse.Namespace) -> int:
+    formula = parse(arguments.query)
+    print(f"parsed:    {pretty(formula)}")
+    print(f"paper class:    {paper_class(formula).name}")
+    print(f"skeleton class: {skeleton_class(formula).name}")
+    return 0
+
+
+def cmd_explain(arguments: argparse.Namespace) -> int:
+    from repro.core.explain import explain
+    from repro.core.optimizer import optimize
+
+    formula = parse(arguments.query)
+    if arguments.optimize:
+        optimized = optimize(formula)
+        if optimized != formula:
+            print(f"rewritten: {pretty(optimized)}\n")
+        formula = optimized
+    print(explain(formula))
+    return 0
+
+
+def cmd_run(arguments: argparse.Namespace) -> int:
+    video_name, loader = _DATASETS[arguments.dataset]
+    database: VideoDatabase = loader()
+    video = database.get(video_name)
+    formula = parse(arguments.query)
+    engine = RetrievalEngine(
+        EngineConfig(
+            until_threshold=arguments.threshold,
+            join_mode=arguments.join_mode,
+        )
+    )
+    level = _resolve_level(video, arguments.level)
+    result = engine.evaluate_video(
+        formula, video, level=level, database=database
+    )
+    level_name = video.level_names.get(level, str(level))
+    print(
+        similarity_table_text(
+            result,
+            f"{video.name} at level {level} ({level_name}):",
+            ranked=arguments.ranked,
+        )
+    )
+    if arguments.top > 0:
+        print(f"\nTop {arguments.top} segments:")
+        for rank, segment in enumerate(
+            top_k_segments(result, arguments.top, video=video.name), start=1
+        ):
+            print(
+                f"  {rank}. segment {segment.segment_id}  "
+                f"{segment.actual:.3f}/{segment.maximum:g}"
+            )
+    return 0
+
+
+def cmd_sql(arguments: argparse.Namespace) -> int:
+    formula = parse(arguments.query)
+    workload = perf_workload(arguments.size, extra_predicates=2)
+    system = SQLRetrievalSystem()
+    system.load_segments(arguments.size)
+    for name, sim in workload.lists.items():
+        system.load_atomic(name, sim)
+    translation = system.translate(formula)
+    print("-- generated SQL script")
+    print(translation.script())
+    if arguments.execute:
+        result = system.evaluate(formula)
+        print()
+        print(similarity_table_text(result, "result:"))
+    return 0
+
+
+def cmd_datasets(arguments: argparse.Namespace) -> int:
+    for key in sorted(_DATASETS):
+        video_name, loader = _DATASETS[key]
+        database = loader()
+        video = database.get(video_name)
+        levels = ", ".join(
+            f"{level}={name}" for level, name in sorted(video.level_names.items())
+        )
+        atoms = database.atomic_names()
+        extra = f"; atomics: {', '.join(atoms)}" if atoms else ""
+        print(f"{key}: video {video.name!r}, levels [{levels}]{extra}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    handlers = {
+        "classify": cmd_classify,
+        "explain": cmd_explain,
+        "run": cmd_run,
+        "sql": cmd_sql,
+        "datasets": cmd_datasets,
+    }
+    try:
+        return handlers[arguments.command](arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

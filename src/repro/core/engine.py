@@ -1,0 +1,433 @@
+"""The video retrieval engine — the paper's "similarity list generator".
+
+Given an HTL query (an extended conjunctive formula), a video and the level
+at which the query is asserted, the engine computes the query's similarity
+list by structural recursion, combining the similarity tables of the
+atomic subformulas with the list algorithms of :mod:`repro.core.ops`, the
+table joins of :mod:`repro.core.tables`, the freeze joins of
+:mod:`repro.core.value_tables`, and recursive descent for the level modal
+operators (paper §3, extended to >2-level hierarchies as sketched there).
+
+Two evaluation modes (DESIGN.md §2):
+
+* ``join_mode="inner"`` (default) — the paper's §3.2 algorithm verbatim.
+* ``join_mode="outer"`` — definitional-semantics mode, matching
+  :mod:`repro.core.semantics` exactly on supported formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.core import extensions, ops
+from repro.core.simlist import SimilarityList, SimilarityValue
+from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
+from repro.core.value_tables import build_value_table, freeze_join
+from repro.errors import HTLTypeError, UnsupportedFormulaError
+from repro.htl import ast
+from repro.htl.classify import (
+    FormulaClass,
+    is_non_temporal,
+    skeleton_class,
+)
+from repro.htl.variables import is_closed
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import Video, VideoNode
+from repro.pictures.retrieval import PictureRetrievalSystem
+from repro.pictures.scoring import exists_pool, max_similarity
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the retrieval engine.
+
+    ``until_threshold`` is the minimum fractional similarity the left
+    operand of ``until`` must keep (paper §2.5).  ``join_mode`` selects the
+    paper's inner join or the definitional outer join.  ``prune_atoms``
+    forwards to the picture system's relevant-evaluation pruning.
+    """
+
+    until_threshold: float = ops.DEFAULT_UNTIL_THRESHOLD
+    join_mode: str = INNER
+    prune_atoms: bool = False
+    allow_extensions: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.until_threshold <= 1.0:
+            raise HTLTypeError(
+                f"until threshold must be in (0, 1], got {self.until_threshold}"
+            )
+        if self.join_mode not in (INNER, OUTER):
+            raise HTLTypeError(f"unknown join mode {self.join_mode!r}")
+
+
+@dataclass
+class _SequenceContext:
+    """One proper sequence under evaluation."""
+
+    video: Video
+    level: int
+    nodes: Sequence[VideoNode]
+    atomics: Callable[[str, int], Optional[SimilarityList]]
+    pictures: Optional[PictureRetrievalSystem] = None
+    universe: Tuple[str, ...] = ()
+
+    def ensure_pictures(self) -> PictureRetrievalSystem:
+        if self.pictures is None:
+            segments = [node.metadata for node in self.nodes]
+            self.pictures = PictureRetrievalSystem(segments)
+        return self.pictures
+
+
+class RetrievalEngine:
+    """Computes similarity lists for extended conjunctive HTL formulas."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate_video(
+        self,
+        formula: ast.Formula,
+        video: Video,
+        level: int = 2,
+        database: Optional[VideoDatabase] = None,
+        atomic_lists: Optional[Dict[str, SimilarityList]] = None,
+    ) -> SimilarityList:
+        """Similarity list of a closed formula over the segments at a level.
+
+        ``level=2`` (children of the root) is where §3 asserts conjunctive
+        formulas; pass ``level=1`` to assert at the root, the convention for
+        full hierarchical queries with level modal operators.
+
+        ``atomic_lists`` resolves :class:`~repro.htl.ast.AtomicRef` by name
+        for this call; ``database`` resolves the rest via its registry.
+        """
+        self._validate(formula)
+        context = self._context(formula, video, level, database, atomic_lists)
+        return self._table(formula, context).closed_list()
+
+    def evaluate_at_root(
+        self,
+        formula: ast.Formula,
+        video: Video,
+        database: Optional[VideoDatabase] = None,
+        atomic_lists: Optional[Dict[str, SimilarityList]] = None,
+    ) -> SimilarityValue:
+        """Similarity value of the whole video (paper §2.3: satisfaction at
+        the root in the one-element sequence)."""
+        sim = self.evaluate_video(
+            formula, video, level=1, database=database, atomic_lists=atomic_lists
+        )
+        return sim.value_at(1)
+
+    def combine_lists(
+        self, formula: ast.Formula, lists: Dict[str, SimilarityList]
+    ) -> SimilarityList:
+        """Evaluate a type (1) formula directly over named atomic lists.
+
+        This is the experiment harness entry point: the paper's §4 setup
+        feeds precomputed similarity tables for the atomic predicates (as
+        ``AtomicRef`` names) straight into the list algorithms, with no
+        video metadata involved.
+        """
+        self._validate(formula)
+        context = _SequenceContext(
+            video=_DUMMY_VIDEO,
+            level=2,
+            nodes=(),
+            atomics=lambda name, __level: lists.get(name),
+        )
+        return self._table(formula, context).closed_list()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _validate(self, formula: ast.Formula) -> None:
+        if not is_closed(formula):
+            raise HTLTypeError(
+                "queries must be closed formulas (bind every variable with "
+                "exists or the freeze operator)"
+            )
+        actual = skeleton_class(formula)
+        if actual > FormulaClass.EXTENDED_CONJUNCTIVE:
+            if self.config.allow_extensions:
+                self._validate_extended_language(formula)
+                return
+            raise UnsupportedFormulaError(
+                "the retrieval algorithms support extended conjunctive "
+                f"formulas; this one is {actual.name} "
+                "(EngineConfig(allow_extensions=True) admits disjunction, "
+                "'always' and free-position quantifiers)"
+            )
+
+    def _validate_extended_language(self, formula: ast.Formula) -> None:
+        """Full-language mode: everything except ¬ over temporal scope."""
+        if is_non_temporal(formula):
+            return
+        if isinstance(formula, ast.Not):
+            raise UnsupportedFormulaError(
+                "negation over temporal subformulas has no similarity "
+                "semantics (paper §2.5 defines none); restructure the query"
+            )
+        for child in formula.children():
+            self._validate_extended_language(child)
+
+    def _context(
+        self,
+        formula: ast.Formula,
+        video: Video,
+        level: int,
+        database: Optional[VideoDatabase],
+        atomic_lists: Optional[Dict[str, SimilarityList]],
+    ) -> _SequenceContext:
+        def resolve(name: str, at_level: int) -> Optional[SimilarityList]:
+            if atomic_lists is not None and name in atomic_lists:
+                return atomic_lists[name]
+            if database is not None:
+                return database.atomic_list(name, video.name, at_level)
+            return None
+
+        nodes = video.nodes_at_level(level)
+        return _SequenceContext(
+            video=video,
+            level=level,
+            nodes=nodes,
+            atomics=resolve,
+            universe=tuple(exists_pool(video.object_universe())),
+        )
+
+    def _table(
+        self, formula: ast.Formula, context: _SequenceContext
+    ) -> SimilarityTable:
+        if isinstance(formula, ast.AtomicRef):
+            return self._atomic_table(formula, context)
+        if is_non_temporal(formula):
+            return self._atom_table(formula, context)
+        if isinstance(formula, ast.And):
+            left = self._table(formula.left, context)
+            right = self._table(formula.right, context)
+            return left.combine(
+                right,
+                ops.and_lists,
+                mode=self.config.join_mode,
+                universe=context.universe,
+            )
+        if isinstance(formula, ast.Until):
+            left = self._table(formula.left, context)
+            right = self._table(formula.right, context)
+            threshold = self.config.until_threshold
+
+            def until_op(
+                left_list: SimilarityList, right_list: SimilarityList
+            ) -> SimilarityList:
+                return ops.until_lists(left_list, right_list, threshold)
+
+            return left.combine(
+                right,
+                until_op,
+                mode=self.config.join_mode,
+                universe=context.universe,
+            )
+        if isinstance(formula, ast.Or):
+            if not self.config.allow_extensions:
+                raise UnsupportedFormulaError(
+                    "disjunction over temporal subformulas needs "
+                    "EngineConfig(allow_extensions=True)"
+                )
+            left = self._table(formula.left, context)
+            right = self._table(formula.right, context)
+            # ∨ takes the best disjunct, so an evaluation missing on one
+            # side keeps the other side's value: always an outer join.
+            return left.combine(
+                right,
+                extensions.or_lists,
+                mode=OUTER,
+                universe=context.universe,
+            )
+        if isinstance(formula, ast.Next):
+            return self._table(formula.sub, context).map_lists(ops.next_list)
+        if isinstance(formula, ast.Eventually):
+            return self._table(formula.sub, context).map_lists(
+                ops.eventually_list
+            )
+        if isinstance(formula, ast.Always):
+            axis_end = len(context.nodes)
+            return self._table(formula.sub, context).map_lists(
+                lambda sim: ops.always_list(sim, axis_end)
+            )
+        if isinstance(formula, ast.Exists):
+            table = self._table(formula.sub, context)
+            bound = [name for name in formula.vars if name in table.object_vars]
+            return table.project_exists(bound)
+        if isinstance(formula, ast.Freeze):
+            body = self._table(formula.sub, context)
+            segments = [node.metadata for node in context.nodes]
+            value_table = build_value_table(formula.func, segments)
+            return freeze_join(body, formula.var, value_table)
+        if isinstance(formula, (ast.AtNextLevel, ast.AtLevel, ast.AtNamedLevel)):
+            return self._level_table(formula, context)
+        raise UnsupportedFormulaError(
+            f"cannot evaluate {type(formula).__name__} here"
+        )
+
+    # -- atoms ------------------------------------------------------------
+    def _atomic_table(
+        self, formula: ast.AtomicRef, context: _SequenceContext
+    ) -> SimilarityTable:
+        resolved = context.atomics(formula.name, context.level)
+        if resolved is None:
+            raise UnsupportedFormulaError(
+                f"atomic predicate {formula.name!r} has no similarity list "
+                f"registered for video {context.video.name!r} at level "
+                f"{context.level}"
+            )
+        return SimilarityTable.closed(resolved)
+
+    def _atom_table(
+        self, formula: ast.Formula, context: _SequenceContext
+    ) -> SimilarityTable:
+        has_refs = any(
+            isinstance(node, ast.AtomicRef) for node in formula.walk()
+        )
+        if has_refs:
+            if isinstance(formula, ast.And):
+                left = self._table(formula.left, context)
+                right = self._table(formula.right, context)
+                return left.combine(
+                    right,
+                    ops.and_lists,
+                    mode=self.config.join_mode,
+                    universe=context.universe,
+                )
+            raise UnsupportedFormulaError(
+                "atomic references may only be combined with other "
+                "conditions through conjunction; found one under "
+                f"{type(formula).__name__}"
+            )
+        pictures = context.ensure_pictures()
+        return pictures.similarity_table(
+            formula,
+            universe=context.universe or None,
+            prune=self.config.prune_atoms,
+        )
+
+    # -- level modal operators ------------------------------------------------
+    def _level_table(
+        self,
+        formula: Union[ast.AtNextLevel, ast.AtLevel, ast.AtNamedLevel],
+        context: _SequenceContext,
+    ) -> SimilarityTable:
+        if isinstance(formula, ast.AtNextLevel):
+            target = context.level + 1
+        elif isinstance(formula, ast.AtLevel):
+            target = formula.level
+        else:
+            target = context.video.level_of(formula.level_name)
+        if target < context.level:
+            raise UnsupportedFormulaError(
+                f"level operator targets level {target}, above the current "
+                f"level {context.level}"
+            )
+        if target > context.video.n_levels:
+            raise UnsupportedFormulaError(
+                f"level operator targets level {target}, but video "
+                f"{context.video.name!r} has {context.video.n_levels} levels"
+            )
+
+        accumulator: Dict[
+            Tuple[Tuple[str, ...], tuple], Dict[int, float]
+        ] = {}
+        columns: Optional[Tuple[Tuple[str, ...], Tuple[str, ...]]] = None
+        maximum: Optional[float] = None
+        for position, node in enumerate(context.nodes, start=1):
+            descendants = node.descendants_at_level(target)
+            child_context = _SequenceContext(
+                video=context.video,
+                level=target,
+                nodes=descendants,
+                atomics=context.atomics,
+                universe=context.universe,
+            )
+            child_table = self._table(formula.sub, child_context)
+            maximum = child_table.maximum
+            columns = (child_table.object_vars, child_table.attr_vars)
+            if not descendants:
+                continue
+            for row in child_table.rows:
+                value = row.sim.actual_at(1)
+                if value <= 0:
+                    continue
+                key = (row.objects, row.ranges)
+                accumulator.setdefault(key, {})[position] = value
+        if maximum is None or columns is None:
+            # Empty outer sequence: no way to learn the child maximum from
+            # data, so compute it structurally.
+            return SimilarityTable.empty(
+                _structural_maximum(formula.sub, context)
+            )
+        rows = [
+            TableRow(
+                objects,
+                ranges,
+                SimilarityList.from_segment_values(values, maximum),
+            )
+            for (objects, ranges), values in accumulator.items()
+        ]
+        rows = [row for row in rows if row.sim]
+        return SimilarityTable(columns[0], columns[1], rows, maximum)
+
+
+def _structural_maximum(
+    formula: ast.Formula, context: _SequenceContext
+) -> float:
+    """Maximum similarity computed from the formula alone."""
+    if isinstance(formula, ast.AtomicRef):
+        resolved = context.atomics(formula.name, context.level)
+        if resolved is None:
+            raise UnsupportedFormulaError(
+                f"atomic predicate {formula.name!r} has no registered list"
+            )
+        return resolved.maximum
+    if is_non_temporal(formula):
+        return max_similarity(formula)
+    if isinstance(formula, ast.And):
+        return _structural_maximum(formula.left, context) + _structural_maximum(
+            formula.right, context
+        )
+    if isinstance(formula, ast.Until):
+        return _structural_maximum(formula.right, context)
+    if isinstance(formula, ast.Or):
+        return max(
+            _structural_maximum(formula.left, context),
+            _structural_maximum(formula.right, context),
+        )
+    if isinstance(
+        formula,
+        (
+            ast.Next,
+            ast.Eventually,
+            ast.Always,
+            ast.Exists,
+            ast.Freeze,
+            ast.AtNextLevel,
+            ast.AtLevel,
+            ast.AtNamedLevel,
+        ),
+    ):
+        return _structural_maximum(formula.sub, context)
+    raise UnsupportedFormulaError(
+        f"cannot compute a maximum for {type(formula).__name__}"
+    )
+
+
+def _make_dummy_video() -> Video:
+    """A placeholder video for :meth:`RetrievalEngine.combine_lists`."""
+    root = VideoNode()
+    return Video(name="<lists>", root=root, level_names={1: "video"})
+
+
+_DUMMY_VIDEO = _make_dummy_video()

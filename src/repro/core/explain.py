@@ -1,0 +1,161 @@
+"""Human-readable evaluation plans for HTL queries.
+
+:func:`explain` renders the tree of operations the retrieval engine will
+perform for a formula — which subformulas become picture-system atoms,
+which list algorithm combines each temporal operator, where tables join
+and on which variables, and where the hierarchy recursion descends.  The
+same structure the paper's Figure 1 describes, but per query.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.htl import ast
+from repro.htl.classify import (
+    FormulaClass,
+    is_non_temporal,
+    skeleton_class,
+)
+from repro.htl.pretty import pretty, pretty_term
+from repro.htl.variables import free_attr_vars, free_object_vars
+
+
+def explain(formula: ast.Formula) -> str:
+    """The evaluation plan of a formula, as an indented tree."""
+    lines: List[str] = [
+        f"plan for: {_clip(pretty(formula))}",
+        f"class: {skeleton_class(formula).name}",
+    ]
+    _describe(formula, lines, depth=0)
+    return "\n".join(lines)
+
+
+def _clip(text: str, limit: int = 72) -> str:
+    if len(text) <= limit:
+        return text
+    return text[: limit - 3] + "..."
+
+
+def _vars_note(formula: ast.Formula) -> str:
+    object_vars = sorted(free_object_vars(formula))
+    attr_vars = sorted(free_attr_vars(formula))
+    notes = []
+    if object_vars:
+        notes.append(f"object vars {', '.join(object_vars)}")
+    if attr_vars:
+        notes.append(f"attr ranges {', '.join(attr_vars)}")
+    if not notes:
+        return "closed"
+    return "; ".join(notes)
+
+
+def _add(lines: List[str], depth: int, text: str) -> None:
+    lines.append("  " * depth + "- " + text)
+
+
+def _describe(formula: ast.Formula, lines: List[str], depth: int) -> None:
+    if isinstance(formula, ast.AtomicRef):
+        _add(
+            lines,
+            depth,
+            f"atomic {formula.name!r}: registered similarity list",
+        )
+        return
+    if is_non_temporal(formula):
+        if isinstance(formula, ast.And) and any(
+            isinstance(node, ast.AtomicRef) for node in formula.walk()
+        ):
+            # The engine splits conjunctions mixing registered atomics
+            # with metadata conditions.
+            _add(lines, depth, "AND-merge (sum on overlap)")
+            _describe(formula.left, lines, depth + 1)
+            _describe(formula.right, lines, depth + 1)
+            return
+        _add(
+            lines,
+            depth,
+            f"atom → picture system [{_vars_note(formula)}]: "
+            f"{_clip(pretty(formula), 48)}",
+        )
+        return
+    if isinstance(formula, ast.And):
+        shared = sorted(
+            free_object_vars(formula.left) & free_object_vars(formula.right)
+        )
+        join = f"join on {', '.join(shared)}" if shared else "cross join"
+        _add(lines, depth, f"AND-merge (sum on overlap; {join})")
+        _describe(formula.left, lines, depth + 1)
+        _describe(formula.right, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Or):
+        _add(lines, depth, "OR-merge (pointwise max; extension)")
+        _describe(formula.left, lines, depth + 1)
+        _describe(formula.right, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Until):
+        _add(
+            lines,
+            depth,
+            "UNTIL backward merge (threshold left list, coalesce runs, "
+            "suffix-max witnesses)",
+        )
+        _describe(formula.left, lines, depth + 1)
+        _describe(formula.right, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Next):
+        _add(lines, depth, "NEXT shift (intervals left by one)")
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Eventually):
+        _add(lines, depth, "EVENTUALLY suffix-max scan")
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Always):
+        _add(lines, depth, "ALWAYS suffix-min scan (extension)")
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Exists):
+        names = ", ".join(formula.vars)
+        _add(
+            lines,
+            depth,
+            f"∃-projection over {names} (m-way max merge of rows)",
+        )
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Freeze):
+        _add(
+            lines,
+            depth,
+            f"FREEZE join [{formula.var} := {pretty_term(formula.func)[:32]}] "
+            "(value table × range column)",
+        )
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.AtNextLevel):
+        _add(lines, depth, "descend one level (value at first child)")
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.AtLevel):
+        _add(
+            lines,
+            depth,
+            f"descend to level {formula.level} (value at first descendant)",
+        )
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.AtNamedLevel):
+        _add(
+            lines,
+            depth,
+            f"descend to {formula.level_name!r} level "
+            "(value at first descendant)",
+        )
+        _describe(formula.sub, lines, depth + 1)
+        return
+    if isinstance(formula, ast.Not):
+        _add(lines, depth, "NOT (unsupported over temporal subformulas)")
+        _describe(formula.sub, lines, depth + 1)
+        return
+    _add(lines, depth, f"{type(formula).__name__}")  # pragma: no cover

@@ -1,0 +1,126 @@
+"""Closed integer intervals of video-segment ids.
+
+The paper compresses similarity tables by storing runs of consecutive
+segment ids as ``[beg_id, end_id]`` intervals.  This module supplies the
+interval type and the handful of interval computations the list algorithms
+need (intersection, adjacency, coalescing).
+
+Segment ids are 1-based, matching the paper ("these segments are numbered
+sequentially starting from 1").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import InvalidIntervalError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[begin, end]`` of segment ids, ``begin <= end``."""
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.begin, int) or not isinstance(self.end, int):
+            raise InvalidIntervalError(
+                f"interval endpoints must be ints, got ({self.begin!r}, {self.end!r})"
+            )
+        if self.begin > self.end:
+            raise InvalidIntervalError(
+                f"interval begin {self.begin} exceeds end {self.end}"
+            )
+        if self.begin < 1:
+            raise InvalidIntervalError(
+                f"segment ids are 1-based, got begin {self.begin}"
+            )
+
+    def __len__(self) -> int:
+        return self.end - self.begin + 1
+
+    def __contains__(self, segment_id: int) -> bool:
+        return self.begin <= segment_id <= self.end
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.begin, self.end + 1))
+
+    def intersects(self, other: "Interval") -> bool:
+        """Return True when the two intervals share at least one id."""
+        return self.begin <= other.end and other.begin <= self.end
+
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        """Return the common sub-interval, or None when disjoint."""
+        begin = max(self.begin, other.begin)
+        end = min(self.end, other.end)
+        if begin > end:
+            return None
+        return Interval(begin, end)
+
+    def adjacent_to(self, other: "Interval") -> bool:
+        """Return True when the intervals touch without overlapping.
+
+        ``[1,4]`` and ``[5,9]`` are adjacent; ``[1,4]`` and ``[6,9]`` are not.
+        """
+        return self.end + 1 == other.begin or other.end + 1 == self.begin
+
+    def shift(self, delta: int) -> Optional["Interval"]:
+        """Translate by ``delta``, clamping to the 1-based id axis.
+
+        Returns None when the whole interval falls off the axis.  Used by
+        the ``next`` operator, which maps ``[u, v]`` to ``[u-1, v-1]``.
+        """
+        begin = self.begin + delta
+        end = self.end + delta
+        if end < 1:
+            return None
+        return Interval(max(begin, 1), end)
+
+    def clamp(self, lo: int, hi: int) -> Optional["Interval"]:
+        """Restrict to ``[lo, hi]``; None when nothing remains."""
+        begin = max(self.begin, lo)
+        end = min(self.end, hi)
+        if begin > end:
+            return None
+        return Interval(begin, end)
+
+
+def coalesce(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping or adjacent intervals into maximal runs.
+
+    Input order is irrelevant; output is sorted and pairwise
+    non-adjacent/non-overlapping.  This is the normalisation the UNTIL
+    algorithm applies to the thresholded L1 list ("combine all consecutive
+    entries ... whose intervals are adjacent into a single entry").
+    """
+    ordered = sorted(intervals)
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged and interval.begin <= merged[-1].end + 1:
+            last = merged[-1]
+            if interval.end > last.end:
+                merged[-1] = Interval(last.begin, interval.end)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def total_length(intervals: Iterable[Interval]) -> int:
+    """Total number of segment ids covered (intervals assumed disjoint)."""
+    return sum(len(interval) for interval in intervals)
+
+
+def covers(intervals: Iterable[Interval], segment_id: int) -> bool:
+    """Return True when any interval of a *sorted disjoint* run covers the id.
+
+    Uses linear scan with early exit; callers needing many probes should use
+    :meth:`repro.core.simlist.SimilarityList.value_at`, which bisects.
+    """
+    for interval in intervals:
+        if segment_id < interval.begin:
+            return False
+        if segment_id <= interval.end:
+            return True
+    return False

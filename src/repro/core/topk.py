@@ -1,0 +1,107 @@
+"""Top-k retrieval and ranked presentation (paper §1).
+
+"Under our similarity based retrieval, the k top video segments that have
+the highest similarity values with respect to the user query will be
+retrieved; here, k may be a parameter specified by the user."
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.engine import RetrievalEngine
+from repro.core.simlist import SimilarityList, SimilarityValue
+from repro.htl import ast
+from repro.model.database import VideoDatabase
+
+
+@dataclass(frozen=True)
+class RetrievedSegment:
+    """One ranked answer: which video, which segment, how similar."""
+
+    video: str
+    segment_id: int
+    actual: float
+    maximum: float
+
+    @property
+    def fraction(self) -> float:
+        return self.actual / self.maximum
+
+
+def ranked_entries(sim: SimilarityList) -> List[Tuple[int, int, float]]:
+    """List entries sorted by descending similarity (the paper's Table 4
+    presentation), as ``(begin, end, actual)`` triples."""
+    triples = [
+        (entry.begin, entry.end, entry.actual) for entry in sim.entries
+    ]
+    triples.sort(key=lambda triple: (-triple[2], triple[0]))
+    return triples
+
+
+def top_k_segments(
+    sim: SimilarityList, k: int, video: str = ""
+) -> List[RetrievedSegment]:
+    """The k highest-similarity segments of one list.
+
+    Ties break on ascending segment id, so results are deterministic.
+    Intervals are expanded lazily in rank order — no full expansion.
+    """
+    if k <= 0:
+        return []
+    results: List[RetrievedSegment] = []
+    for begin, end, actual in ranked_entries(sim):
+        for segment_id in range(begin, end + 1):
+            results.append(
+                RetrievedSegment(video, segment_id, actual, sim.maximum)
+            )
+            if len(results) == k:
+                return results
+    return results
+
+
+def top_k_across_videos(
+    engine: RetrievalEngine,
+    formula: ast.Formula,
+    database: VideoDatabase,
+    k: int,
+    level: int = 2,
+) -> List[RetrievedSegment]:
+    """Evaluate the query on every video and rank segments globally.
+
+    Multiple videos are handled exactly as the paper prescribes — "using
+    two numbers one of which gives the video id and the other gives the id
+    of the video segment within the video".
+    """
+    candidates: List[Tuple[float, str, int, float]] = []
+    for video in database.videos():
+        sim = engine.evaluate_video(formula, video, level=level, database=database)
+        for entry in sim.entries:
+            for segment_id in entry.interval:
+                candidates.append(
+                    (entry.actual, video.name, segment_id, sim.maximum)
+                )
+    best = heapq.nsmallest(
+        k, candidates, key=lambda item: (-item[0], item[1], item[2])
+    )
+    return [
+        RetrievedSegment(video, segment_id, actual, maximum)
+        for actual, video, segment_id, maximum in best
+    ]
+
+
+def top_k_videos(
+    engine: RetrievalEngine,
+    formula: ast.Formula,
+    database: VideoDatabase,
+    k: int,
+) -> List[Tuple[str, SimilarityValue]]:
+    """Rank whole videos by their root similarity value (browsing queries)."""
+    scored = [
+        (video.name, engine.evaluate_at_root(formula, video, database=database))
+        for video in database.videos()
+    ]
+    scored.sort(key=lambda item: (-item[1].actual, item[0]))
+    return scored[:k]

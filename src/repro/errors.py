@@ -1,0 +1,97 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one base class.  Sub-systems add
+their own subclasses (e.g. the HTL parser raises :class:`HTLSyntaxError`,
+the relational engine raises :class:`SQLError` subclasses).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """An interval was constructed with ``begin > end`` or a non-positive id."""
+
+
+class InvalidSimilarityError(ReproError, ValueError):
+    """A similarity value violates ``0 <= actual <= maximum``."""
+
+
+class SimilarityListInvariantError(ReproError, ValueError):
+    """A similarity list violates sortedness/disjointness/shared-max invariants."""
+
+
+class HTLError(ReproError):
+    """Base class for errors concerning the HTL language."""
+
+
+class HTLSyntaxError(HTLError, ValueError):
+    """The HTL query text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class HTLTypeError(HTLError, TypeError):
+    """A formula is structurally ill-typed (e.g. unbound variable use)."""
+
+
+class UnsupportedFormulaError(HTLError):
+    """The formula falls outside the class the chosen algorithm supports.
+
+    The paper's retrieval methods cover the *extended conjunctive* subclass
+    of HTL; formulas outside it (negated temporal subformulas, temporal
+    operators under non-prefix existential quantifiers, ...) are rejected
+    with this error rather than silently mis-evaluated.
+    """
+
+
+class ModelError(ReproError):
+    """Base class for errors in the hierarchical video model."""
+
+
+class HierarchyError(ModelError, ValueError):
+    """The video hierarchy is malformed (uneven leaf depth, empty levels...)."""
+
+
+class UnknownLevelError(ModelError, KeyError):
+    """A level name or number does not exist in the video hierarchy."""
+
+
+class MetadataError(ModelError, ValueError):
+    """Segment metadata is malformed (bad confidence, duplicate object...)."""
+
+
+class SQLError(ReproError):
+    """Base class for the mini relational engine."""
+
+
+class SQLSyntaxError(SQLError, ValueError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class SQLCatalogError(SQLError, KeyError):
+    """Reference to a missing table/column, or duplicate table creation."""
+
+
+class SQLExecutionError(SQLError, RuntimeError):
+    """A runtime failure while executing a SQL statement."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload generator was given inconsistent parameters."""

@@ -1,0 +1,29 @@
+"""HTL — Hierarchical Temporal Logic (paper §2): AST, parser, classes."""
+
+from repro.htl import ast
+from repro.htl.classify import (
+    FormulaClass,
+    atomic_subformulas,
+    is_non_temporal,
+    paper_class,
+    skeleton_class,
+)
+from repro.htl.parser import parse, parse_term
+from repro.htl.pretty import pretty, pretty_term
+from repro.htl.variables import free_attr_vars, free_object_vars, is_closed
+
+__all__ = [
+    "ast",
+    "parse",
+    "parse_term",
+    "pretty",
+    "pretty_term",
+    "FormulaClass",
+    "paper_class",
+    "skeleton_class",
+    "atomic_subformulas",
+    "is_non_temporal",
+    "free_object_vars",
+    "free_attr_vars",
+    "is_closed",
+]

@@ -1,0 +1,148 @@
+"""Tokenizer for the HTL concrete syntax.
+
+The surface language is ASCII: keywords (``and``, ``until``,
+``eventually``, ``exists`` ...), identifiers, single-quoted strings,
+numbers, comparison operators and punctuation.  Line comments start with
+``--`` (the SQL habit) or ``#`` and run to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from repro.errors import HTLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "not",
+        "next",
+        "until",
+        "eventually",
+        "always",
+        "exists",
+        "present",
+        "true",
+        "weight",
+        "atomic",
+        "at_next_level",
+        "at_level",
+    }
+)
+
+_TWO_CHAR_SYMBOLS = (":=", "!=", "<=", ">=")
+_ONE_CHAR_SYMBOLS = "()[],.$@=<>"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position (1-based line/column)."""
+
+    kind: str  # 'ident', 'keyword', 'number', 'string', 'symbol', 'eof'
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "symbol" and self.value == symbol
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize HTL query text; raises :class:`HTLSyntaxError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        column = position - line_start + 1
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if char == "#" or text.startswith("--", position):
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        if char == "'":
+            value, position = _scan_string(text, position, line, column)
+            yield Token("string", value, line, column)
+            continue
+        if char.isdigit() or (
+            char == "-" and position + 1 < length and text[position + 1].isdigit()
+        ):
+            value, position = _scan_number(text, position)
+            yield Token("number", value, line, column)
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            yield Token(kind, word, line, column)
+            position = end
+            continue
+        two = text[position : position + 2]
+        if two in _TWO_CHAR_SYMBOLS:
+            yield Token("symbol", two, line, column)
+            position += 2
+            continue
+        if char in _ONE_CHAR_SYMBOLS:
+            yield Token("symbol", char, line, column)
+            position += 1
+            continue
+        raise HTLSyntaxError(f"unexpected character {char!r}", line, column)
+    yield Token("eof", "", line, length - line_start + 1)
+
+
+def _scan_string(
+    text: str, position: int, line: int, column: int
+) -> "tuple[str, int]":
+    end = position + 1
+    chunks: List[str] = []
+    while end < len(text):
+        char = text[end]
+        if char == "'":
+            # '' escapes a quote, SQL style.
+            if end + 1 < len(text) and text[end + 1] == "'":
+                chunks.append("'")
+                end += 2
+                continue
+            return "".join(chunks), end + 1
+        if char == "\n":
+            break
+        chunks.append(char)
+        end += 1
+    raise HTLSyntaxError("unterminated string literal", line, column)
+
+
+def _scan_number(text: str, position: int) -> "tuple[Union[int, float], int]":
+    end = position
+    if text[end] == "-":
+        end += 1
+    while end < len(text) and text[end].isdigit():
+        end += 1
+    is_float = False
+    if end < len(text) and text[end] == "." and end + 1 < len(text) and text[
+        end + 1
+    ].isdigit():
+        is_float = True
+        end += 1
+        while end < len(text) and text[end].isdigit():
+            end += 1
+    literal = text[position:end]
+    return (float(literal) if is_float else int(literal)), end

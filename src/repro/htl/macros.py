@@ -1,0 +1,124 @@
+"""Named predicate definitions (query macros).
+
+The paper's experiments pose atomic predicates such as ``Moving-Train`` to
+the picture system by name.  A :class:`PredicateRegistry` lets users *
+define* those names as non-temporal HTL formulas once and reference them
+with ``atomic('Name')`` afterwards; expansion happens before evaluation,
+so a registered definition behaves exactly like writing the formula
+inline — and a similarity list registered in the video database still
+takes precedence (the definition is the fallback for videos without
+precomputed tables).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import HTLTypeError
+from repro.htl import ast
+from repro.htl.classify import is_non_temporal
+from repro.htl.parser import parse
+from repro.htl.variables import free_attr_vars, free_object_vars
+
+
+class PredicateRegistry:
+    """Named non-temporal formulas usable as ``atomic('Name')``."""
+
+    def __init__(self) -> None:
+        self._definitions: Dict[str, ast.Formula] = {}
+
+    def define(self, name: str, formula: "ast.Formula | str") -> ast.Formula:
+        """Register a definition; text is parsed first.
+
+        Definitions must be closed non-temporal formulas (they stand for
+        atomic predicates, which are evaluated per segment) and must not
+        reference themselves or other atomic names (no recursion).
+        """
+        if isinstance(formula, str):
+            formula = parse(formula)
+        if not is_non_temporal(formula):
+            raise HTLTypeError(
+                f"predicate {name!r} must be non-temporal (it stands for "
+                "an atomic subformula evaluated on single segments)"
+            )
+        if free_object_vars(formula) or free_attr_vars(formula):
+            raise HTLTypeError(
+                f"predicate {name!r} must be a closed formula"
+            )
+        for node in formula.walk():
+            if isinstance(node, ast.AtomicRef):
+                raise HTLTypeError(
+                    f"predicate {name!r} may not reference other atomic "
+                    f"predicates ({node.name!r}); inline the definition"
+                )
+        if name in self._definitions:
+            raise HTLTypeError(f"predicate {name!r} is already defined")
+        self._definitions[name] = formula
+        return formula
+
+    def lookup(self, name: str) -> Optional[ast.Formula]:
+        return self._definitions.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._definitions
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._definitions))
+
+    # ------------------------------------------------------------------
+    def expand(self, formula: ast.Formula) -> ast.Formula:
+        """Replace every defined ``AtomicRef`` by its definition.
+
+        Unknown names are left untouched (they may be resolved later by a
+        registered similarity list).
+        """
+        return _rewrite(formula, self._definitions)
+
+
+def _rewrite(
+    formula: ast.Formula, definitions: Dict[str, ast.Formula]
+) -> ast.Formula:
+    if isinstance(formula, ast.AtomicRef):
+        return definitions.get(formula.name, formula)
+    if isinstance(formula, ast.And):
+        return ast.And(
+            _rewrite(formula.left, definitions),
+            _rewrite(formula.right, definitions),
+        )
+    if isinstance(formula, ast.Or):
+        return ast.Or(
+            _rewrite(formula.left, definitions),
+            _rewrite(formula.right, definitions),
+        )
+    if isinstance(formula, ast.Until):
+        return ast.Until(
+            _rewrite(formula.left, definitions),
+            _rewrite(formula.right, definitions),
+        )
+    if isinstance(formula, ast.Not):
+        return ast.Not(_rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.Next):
+        return ast.Next(_rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.Eventually):
+        return ast.Eventually(_rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.Always):
+        return ast.Always(_rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.Exists):
+        return ast.Exists(formula.vars, _rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.Freeze):
+        return ast.Freeze(
+            formula.var, formula.func, _rewrite(formula.sub, definitions)
+        )
+    if isinstance(formula, ast.Weighted):
+        return ast.Weighted(
+            formula.weight, _rewrite(formula.sub, definitions)
+        )
+    if isinstance(formula, ast.AtNextLevel):
+        return ast.AtNextLevel(_rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.AtLevel):
+        return ast.AtLevel(formula.level, _rewrite(formula.sub, definitions))
+    if isinstance(formula, ast.AtNamedLevel):
+        return ast.AtNamedLevel(
+            formula.level_name, _rewrite(formula.sub, definitions)
+        )
+    return formula

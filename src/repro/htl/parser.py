@@ -1,0 +1,311 @@
+"""Recursive-descent parser for the HTL concrete syntax (paper Fig. 1).
+
+Grammar (loosest to tightest binding)::
+
+    formula     := 'exists' IDENT (',' IDENT)* '.' formula
+                 | '[' IDENT ':=' attr_func ']' formula
+                 | or_expr
+    or_expr     := and_expr ('or' and_expr)*
+    and_expr    := until_expr ('and' until_expr)*
+    until_expr  := unary ('until' until_expr)?            -- right associative
+    unary       := ('not' | 'next' | 'eventually' | 'always') unary
+                 | level_op | prefix-form | primary
+    level_op    := 'at_next_level' '(' formula ')'
+                 | 'at_level' '(' NUMBER ',' formula ')'
+                 | 'at_<name>_level' '(' formula ')'
+    primary     := 'true'
+                 | 'present' '(' IDENT ')'
+                 | 'weight' '(' NUMBER ',' formula ')'
+                 | 'atomic' '(' STRING ')' | '$' IDENT
+                 | term (CMP term)?                        -- Compare or Rel
+                 | '(' formula ')'
+    term        := NUMBER | STRING | '@' IDENT
+                 | IDENT [ '(' [term (',' term)*] ')' ]
+
+Identifier resolution: an identifier bound by an enclosing ``exists`` is an
+object variable; one bound by a freeze ``[h := ...]`` is an attribute
+variable; an *unbound* identifier is an object variable when bare and an
+attribute function when applied (``height(x)``) — segment attributes use
+explicit empty parentheses (``type() = 'western'``).  ``@name`` forces an
+attribute variable; useful only for open formulas.
+
+A bare applied identifier that is *not* followed by a comparison operator
+denotes a relationship predicate (``fires_at(x, y)``); followed by one it
+is an attribute function (``height(x) > @h``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import HTLSyntaxError
+from repro.htl import ast
+from repro.htl.lexer import Token, tokenize
+
+_COMPARISONS = frozenset(ast.COMPARISON_OPS)
+
+
+def parse(text: str) -> ast.Formula:
+    """Parse HTL query text into a formula AST."""
+    parser = _Parser(tokenize(text))
+    formula = parser.parse_formula()
+    parser.expect_eof()
+    return formula
+
+
+def parse_term(text: str) -> ast.Term:
+    """Parse a single term (mainly for tests and the CLI)."""
+    parser = _Parser(tokenize(text))
+    term = parser.parse_term()
+    parser.expect_eof()
+    return term
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+        self._object_vars: Set[str] = set()
+        self._attr_vars: Set[str] = set()
+
+    # -- token plumbing -----------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _error(self, message: str) -> HTLSyntaxError:
+        token = self._current
+        return HTLSyntaxError(
+            f"{message}, found {token.kind} {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._current.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        self._advance()
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._current.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _expect_ident(self) -> str:
+        if self._current.kind != "ident":
+            raise self._error("expected an identifier")
+        return str(self._advance().value)
+
+    def expect_eof(self) -> None:
+        if self._current.kind != "eof":
+            raise self._error("unexpected trailing input")
+
+    # -- formulas -----------------------------------------------------------
+    def parse_formula(self) -> ast.Formula:
+        if self._current.is_keyword("exists"):
+            return self._parse_exists()
+        if self._current.is_symbol("["):
+            return self._parse_freeze()
+        return self._parse_or()
+
+    def _parse_exists(self) -> ast.Formula:
+        self._advance()  # 'exists'
+        names = [self._expect_ident()]
+        while self._accept_symbol(","):
+            names.append(self._expect_ident())
+        self._expect_symbol(".")
+        added = [name for name in names if name not in self._object_vars]
+        self._object_vars.update(added)
+        try:
+            body = self.parse_formula()
+        finally:
+            self._object_vars.difference_update(added)
+        return ast.Exists(tuple(names), body)
+
+    def _parse_freeze(self) -> ast.Formula:
+        self._expect_symbol("[")
+        name = self._expect_ident()
+        self._expect_symbol(":=")
+        func = self.parse_term()
+        if not isinstance(func, ast.AttrFunc):
+            raise self._error("freeze must capture an attribute function")
+        self._expect_symbol("]")
+        newly_bound = name not in self._attr_vars
+        if newly_bound:
+            self._attr_vars.add(name)
+        try:
+            body = self.parse_formula()
+        finally:
+            if newly_bound:
+                self._attr_vars.discard(name)
+        return ast.Freeze(name, func, body)
+
+    def _parse_or(self) -> ast.Formula:
+        formula = self._parse_and()
+        while self._current.is_keyword("or"):
+            self._advance()
+            formula = ast.Or(formula, self._parse_and())
+        return formula
+
+    def _parse_and(self) -> ast.Formula:
+        formula = self._parse_until()
+        while self._current.is_keyword("and"):
+            self._advance()
+            formula = ast.And(formula, self._parse_until())
+        return formula
+
+    def _parse_until(self) -> ast.Formula:
+        formula = self._parse_unary()
+        if self._current.is_keyword("until"):
+            self._advance()
+            return ast.Until(formula, self._parse_until())
+        return formula
+
+    def _parse_unary(self) -> ast.Formula:
+        token = self._current
+        if token.is_keyword("not"):
+            self._advance()
+            return ast.Not(self._parse_unary())
+        if token.is_keyword("next"):
+            self._advance()
+            return ast.Next(self._parse_unary())
+        if token.is_keyword("eventually"):
+            self._advance()
+            return ast.Eventually(self._parse_unary())
+        if token.is_keyword("always"):
+            self._advance()
+            return ast.Always(self._parse_unary())
+        if token.is_keyword("exists"):
+            return self._parse_exists()
+        if token.is_symbol("["):
+            return self._parse_freeze()
+        if token.is_keyword("at_next_level"):
+            self._advance()
+            self._expect_symbol("(")
+            body = self.parse_formula()
+            self._expect_symbol(")")
+            return ast.AtNextLevel(body)
+        if token.is_keyword("at_level"):
+            self._advance()
+            self._expect_symbol("(")
+            level_token = self._advance()
+            if level_token.kind != "number" or not isinstance(
+                level_token.value, int
+            ):
+                raise self._error("at_level expects an integer level")
+            self._expect_symbol(",")
+            body = self.parse_formula()
+            self._expect_symbol(")")
+            return ast.AtLevel(level_token.value, body)
+        if (
+            token.kind == "ident"
+            and isinstance(token.value, str)
+            and token.value.startswith("at_")
+            and token.value.endswith("_level")
+            and len(token.value) > len("at__level")
+        ):
+            level_name = token.value[len("at_") : -len("_level")]
+            self._advance()
+            self._expect_symbol("(")
+            body = self.parse_formula()
+            self._expect_symbol(")")
+            return ast.AtNamedLevel(level_name, body)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Formula:
+        token = self._current
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.Truth()
+        if token.is_keyword("present"):
+            self._advance()
+            self._expect_symbol("(")
+            name = self._expect_ident()
+            self._expect_symbol(")")
+            return ast.Present(ast.ObjectVar(name))
+        if token.is_keyword("weight"):
+            self._advance()
+            self._expect_symbol("(")
+            weight_token = self._advance()
+            if weight_token.kind != "number":
+                raise self._error("weight expects a number")
+            self._expect_symbol(",")
+            body = self.parse_formula()
+            self._expect_symbol(")")
+            return ast.Weighted(float(weight_token.value), body)
+        if token.is_keyword("atomic"):
+            self._advance()
+            self._expect_symbol("(")
+            name_token = self._advance()
+            if name_token.kind != "string":
+                raise self._error("atomic expects a quoted predicate name")
+            self._expect_symbol(")")
+            return ast.AtomicRef(str(name_token.value))
+        if token.is_symbol("$"):
+            self._advance()
+            return ast.AtomicRef(self._expect_ident())
+        if token.is_symbol("("):
+            self._advance()
+            body = self.parse_formula()
+            self._expect_symbol(")")
+            return body
+        return self._parse_term_formula()
+
+    def _parse_term_formula(self) -> ast.Formula:
+        """A comparison, or a relationship predicate."""
+        left, applied_name, applied_args = self._parse_term_or_call()
+        op_token = self._current
+        if op_token.kind == "symbol" and op_token.value in _COMPARISONS:
+            self._advance()
+            right = self.parse_term()
+            return ast.Compare(str(op_token.value), left, right)
+        if applied_name is not None:
+            return ast.Rel(applied_name, applied_args)
+        raise self._error("expected a comparison operator or a predicate")
+
+    # -- terms --------------------------------------------------------------
+    def parse_term(self) -> ast.Term:
+        term, __, __ = self._parse_term_or_call()
+        return term
+
+    def _parse_term_or_call(
+        self,
+    ) -> Tuple[ast.Term, Optional[str], Tuple[ast.Term, ...]]:
+        """Parse a term; report whether it was an applied identifier.
+
+        Returns ``(term, name, args)`` where ``name`` is non-None exactly
+        when the term came from ``IDENT '(' ... ')'`` syntax, so the caller
+        can reinterpret it as a relationship predicate.
+        """
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return ast.Const(token.value), None, ()
+        if token.kind == "string":
+            self._advance()
+            return ast.Const(str(token.value)), None, ()
+        if token.is_symbol("@"):
+            self._advance()
+            return ast.AttrVar(self._expect_ident()), None, ()
+        if token.kind != "ident":
+            raise self._error("expected a term")
+        name = self._expect_ident()
+        if self._accept_symbol("("):
+            args: List[ast.Term] = []
+            if not self._current.is_symbol(")"):
+                args.append(self.parse_term())
+                while self._accept_symbol(","):
+                    args.append(self.parse_term())
+            self._expect_symbol(")")
+            func = ast.AttrFunc(name, tuple(args))
+            return func, name, tuple(args)
+        if name in self._attr_vars:
+            return ast.AttrVar(name), None, ()
+        return ast.ObjectVar(name), None, ()

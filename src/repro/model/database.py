@@ -1,0 +1,82 @@
+"""The meta-data database: a named collection of videos (paper §1).
+
+The paper assumes "a database containing the actual videos, and another
+database that contains the meta-data"; we model the latter.  The database
+also acts as the registry of externally supplied atomic-predicate
+similarity tables — the form in which the paper's experiments feed the
+picture-retrieval system's output into the video-retrieval system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.simlist import SimilarityList
+from repro.errors import ModelError
+from repro.model.hierarchy import Video
+
+
+class VideoDatabase:
+    """A collection of videos plus registered atomic similarity lists."""
+
+    def __init__(self) -> None:
+        self._videos: Dict[str, Video] = {}
+        # (predicate name, video name, level) -> similarity list
+        self._atomic: Dict[Tuple[str, str, int], SimilarityList] = {}
+
+    # -- videos --------------------------------------------------------------
+    def add(self, video: Video) -> Video:
+        """Register a video; names are unique."""
+        if video.name in self._videos:
+            raise ModelError(f"video {video.name!r} already in the database")
+        self._videos[video.name] = video
+        return video
+
+    def get(self, name: str) -> Video:
+        try:
+            return self._videos[name]
+        except KeyError:
+            raise ModelError(f"no video named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._videos
+
+    def __len__(self) -> int:
+        return len(self._videos)
+
+    def videos(self) -> Iterator[Video]:
+        """Iterate videos in insertion order."""
+        return iter(self._videos.values())
+
+    def names(self) -> List[str]:
+        return list(self._videos)
+
+    # -- registered atomic predicates -----------------------------------------
+    def register_atomic(
+        self,
+        predicate: str,
+        video: str,
+        sim_list: SimilarityList,
+        level: int = 2,
+    ) -> None:
+        """Attach an externally computed similarity list for an atomic
+        predicate over one video's segments at one level.
+
+        ``level`` defaults to 2 — the children of the root, which is where
+        §3's algorithms (and the paper's experiments) assert formulas.
+        """
+        if video not in self._videos:
+            raise ModelError(
+                f"cannot register atomic {predicate!r}: no video {video!r}"
+            )
+        self._atomic[(predicate, video, level)] = sim_list
+
+    def atomic_list(
+        self, predicate: str, video: str, level: int = 2
+    ) -> Optional[SimilarityList]:
+        """Look up a registered atomic similarity list (None when absent)."""
+        return self._atomic.get((predicate, video, level))
+
+    def atomic_names(self) -> List[str]:
+        """Distinct registered atomic predicate names."""
+        return sorted({key[0] for key in self._atomic})

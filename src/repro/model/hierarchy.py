@@ -1,0 +1,202 @@
+"""The hierarchical video model (paper §2.1).
+
+A video is a tree: the root (level 1) is the whole video, each level is a
+temporally ordered decomposition of the previous one (sub-plots, scenes,
+shots, frames...), and all leaves lie at the same depth.  Levels may carry
+names ("scene level", "frame level") used by the named level modal
+operators.
+
+A *video segment* is a node of the tree; a *proper sequence* is the
+left-to-right sequence of descendants of one node at one level, which is
+what temporal operators quantify over.  Segments within a sequence are
+numbered from 1, matching the similarity-list convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import HierarchyError, UnknownLevelError
+from repro.model.metadata import SegmentMetadata
+
+
+class VideoNode:
+    """One video segment in the hierarchy tree."""
+
+    __slots__ = ("metadata", "children", "parent", "level", "index")
+
+    def __init__(
+        self,
+        metadata: Optional[SegmentMetadata] = None,
+        children: Sequence["VideoNode"] = (),
+    ):
+        self.metadata = metadata if metadata is not None else SegmentMetadata()
+        self.children: List[VideoNode] = list(children)
+        self.parent: Optional[VideoNode] = None
+        self.level: int = 0  # assigned when attached to a Video
+        self.index: int = 0  # 1-based position among siblings
+
+    def add_child(self, child: "VideoNode") -> "VideoNode":
+        """Append a child segment and return it (builder convenience)."""
+        self.children.append(child)
+        return child
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def descendants_at_level(self, level: int) -> List["VideoNode"]:
+        """The proper sequence of descendants at an absolute level.
+
+        ``level`` must be at or below this node's own level; the node itself
+        is returned for its own level.
+        """
+        if level < self.level:
+            raise UnknownLevelError(
+                f"node at level {self.level} has no ancestors-as-descendants "
+                f"at level {level}"
+            )
+        current: List[VideoNode] = [self]
+        for __ in range(level - self.level):
+            current = [child for node in current for child in node.children]
+        return current
+
+    def walk(self) -> Iterator["VideoNode"]:
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"VideoNode(level={self.level}, index={self.index}, "
+            f"children={len(self.children)})"
+        )
+
+
+@dataclass
+class Video:
+    """A video: name, hierarchy root, and level naming.
+
+    ``level_names`` maps a level number (1-based, root = 1) to a name such
+    as ``"scene"`` or ``"frame"``; names must be unique.  Construction
+    validates the hierarchy: every leaf at the same depth, so "all the
+    leaves in the tree lie at the same level" (paper §2.1).
+    """
+
+    name: str
+    root: VideoNode
+    level_names: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._assign_levels()
+        self.depth = self._validate_uniform_depth()
+        seen: Dict[str, int] = {}
+        for level, level_name in self.level_names.items():
+            if level < 1 or level > self.depth:
+                raise UnknownLevelError(
+                    f"level name {level_name!r} maps to level {level}, "
+                    f"but the video has levels 1..{self.depth}"
+                )
+            if level_name in seen:
+                raise HierarchyError(
+                    f"duplicate level name {level_name!r} for levels "
+                    f"{seen[level_name]} and {level}"
+                )
+            seen[level_name] = level
+        self._name_to_level = seen
+
+    def _assign_levels(self) -> None:
+        self.root.level = 1
+        self.root.index = 1
+        self.root.parent = None
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for position, child in enumerate(node.children, start=1):
+                child.level = node.level + 1
+                child.index = position
+                child.parent = node
+                stack.append(child)
+
+    def _validate_uniform_depth(self) -> int:
+        depths = {node.level for node in self.root.walk() if node.is_leaf()}
+        if len(depths) != 1:
+            raise HierarchyError(
+                f"video {self.name!r} has leaves at levels "
+                f"{sorted(depths)}; all leaves must lie at the same level"
+            )
+        return depths.pop()
+
+    # -- level resolution -----------------------------------------------------
+    @property
+    def n_levels(self) -> int:
+        """Number of levels; leaves (frames) live at level ``n_levels``."""
+        return self.depth
+
+    def level_of(self, name: str) -> int:
+        """Resolve a level name to its number."""
+        try:
+            return self._name_to_level[name]
+        except KeyError:
+            raise UnknownLevelError(
+                f"video {self.name!r} has no level named {name!r}; "
+                f"known: {sorted(self._name_to_level)}"
+            ) from None
+
+    def nodes_at_level(self, level: int) -> List[VideoNode]:
+        """All segments at an absolute level, in temporal order."""
+        if level < 1 or level > self.depth:
+            raise UnknownLevelError(
+                f"video {self.name!r} has levels 1..{self.depth}, "
+                f"asked for {level}"
+            )
+        return self.root.descendants_at_level(level)
+
+    def segments(self) -> Iterator[VideoNode]:
+        """All segments of the video, pre-order."""
+        return self.root.walk()
+
+    def object_universe(self) -> List[str]:
+        """All universal object ids appearing anywhere in the video."""
+        seen: Dict[str, None] = {}
+        for node in self.root.walk():
+            for object_id in node.metadata.object_ids():
+                seen.setdefault(object_id, None)
+        return list(seen)
+
+
+def flat_video(
+    name: str,
+    segments: Sequence[SegmentMetadata],
+    root_metadata: Optional[SegmentMetadata] = None,
+    child_level_name: str = "shot",
+) -> Video:
+    """Build the paper's two-level video: a root with a flat child sequence.
+
+    This is the shape §3 assumes ("each video has only two levels, the root
+    node and its children") and the shape the experiments use, with every
+    child a shot.
+    """
+    root = VideoNode(metadata=root_metadata)
+    for metadata in segments:
+        root.add_child(VideoNode(metadata=metadata))
+    level_names = {1: "video"}
+    if segments:
+        level_names[2] = child_level_name
+    return Video(name=name, root=root, level_names=level_names)
+
+
+def standard_level_names(depth: int) -> Dict[int, str]:
+    """The paper's canonical naming for a ``depth``-level hierarchy.
+
+    Five levels: video / subplot / scene / shot / frame; shallower videos
+    take a suffix of that list (the leaf level is always the finest name).
+    """
+    canonical = ["video", "subplot", "scene", "shot", "frame"]
+    if depth < 1 or depth > len(canonical):
+        raise HierarchyError(
+            f"standard naming covers 1..{len(canonical)} levels, got {depth}"
+        )
+    names = ["video"] + canonical[len(canonical) - depth + 1 :]
+    return {level: name for level, name in enumerate(names, start=1)}

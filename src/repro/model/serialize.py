@@ -1,0 +1,218 @@
+"""JSON persistence for videos, meta-data and similarity lists.
+
+The paper assumes a database "that contains the meta-data describing the
+contents of the various videos"; this module gives that database a durable
+form: plain-JSON documents with stable schemas, round-trip safe
+(``loads(dumps(db)) == db`` structurally), so annotated corpora and
+precomputed similarity tables can be shipped with experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.simlist import SimilarityList
+from repro.errors import ModelError
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import Video, VideoNode
+from repro.model.metadata import (
+    Fact,
+    ObjectInstance,
+    Relationship,
+    SegmentMetadata,
+)
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# similarity lists
+# ---------------------------------------------------------------------------
+def simlist_to_dict(sim: SimilarityList) -> Dict[str, Any]:
+    return {
+        "maximum": sim.maximum,
+        "entries": [
+            [entry.begin, entry.end, entry.actual] for entry in sim
+        ],
+    }
+
+
+def simlist_from_dict(payload: Dict[str, Any]) -> SimilarityList:
+    return SimilarityList.from_entries(
+        [((int(b), int(e)), float(a)) for b, e, a in payload["entries"]],
+        float(payload["maximum"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# metadata
+# ---------------------------------------------------------------------------
+def _fact_to_json(fact: Fact) -> Any:
+    if fact.confidence == 1.0:
+        return fact.value
+    return {"value": fact.value, "confidence": fact.confidence}
+
+
+def _fact_from_json(payload: Any) -> Any:
+    if isinstance(payload, dict) and "value" in payload:
+        return Fact(payload["value"], float(payload.get("confidence", 1.0)))
+    return payload
+
+
+def segment_to_dict(segment: SegmentMetadata) -> Dict[str, Any]:
+    document: Dict[str, Any] = {}
+    if segment.attributes:
+        document["attributes"] = {
+            name: _fact_to_json(fact)
+            for name, fact in segment.attributes.items()
+        }
+    objects = []
+    for instance in segment.objects():
+        item: Dict[str, Any] = {"id": instance.object_id, "type": instance.type}
+        if instance.confidence != 1.0:
+            item["confidence"] = instance.confidence
+        if instance.attributes:
+            item["attributes"] = {
+                name: _fact_to_json(fact)
+                for name, fact in instance.attributes.items()
+            }
+        objects.append(item)
+    if objects:
+        document["objects"] = objects
+    relationships = []
+    for relationship in segment.relationships:
+        item = {"name": relationship.name, "args": list(relationship.args)}
+        if relationship.confidence != 1.0:
+            item["confidence"] = relationship.confidence
+        relationships.append(item)
+    if relationships:
+        document["relationships"] = relationships
+    return document
+
+
+def segment_from_dict(document: Dict[str, Any]) -> SegmentMetadata:
+    attributes = {
+        name: _fact_from_json(value)
+        for name, value in document.get("attributes", {}).items()
+    }
+    objects = [
+        ObjectInstance(
+            item["id"],
+            item["type"],
+            {
+                name: _fact_from_json(value)
+                for name, value in item.get("attributes", {}).items()
+            },
+            float(item.get("confidence", 1.0)),
+        )
+        for item in document.get("objects", [])
+    ]
+    relationships = [
+        Relationship(
+            item["name"],
+            tuple(item["args"]),
+            float(item.get("confidence", 1.0)),
+        )
+        for item in document.get("relationships", [])
+    ]
+    return SegmentMetadata(
+        attributes=attributes, objects=objects, relationships=relationships
+    )
+
+
+# ---------------------------------------------------------------------------
+# hierarchy
+# ---------------------------------------------------------------------------
+def _node_to_dict(node: VideoNode) -> Dict[str, Any]:
+    document: Dict[str, Any] = {"metadata": segment_to_dict(node.metadata)}
+    if node.children:
+        document["children"] = [
+            _node_to_dict(child) for child in node.children
+        ]
+    return document
+
+
+def _node_from_dict(document: Dict[str, Any]) -> VideoNode:
+    node = VideoNode(metadata=segment_from_dict(document.get("metadata", {})))
+    for child in document.get("children", []):
+        node.add_child(_node_from_dict(child))
+    return node
+
+
+def video_to_dict(video: Video) -> Dict[str, Any]:
+    return {
+        "name": video.name,
+        "level_names": {
+            str(level): name for level, name in video.level_names.items()
+        },
+        "root": _node_to_dict(video.root),
+    }
+
+
+def video_from_dict(document: Dict[str, Any]) -> Video:
+    return Video(
+        name=document["name"],
+        root=_node_from_dict(document["root"]),
+        level_names={
+            int(level): name
+            for level, name in document.get("level_names", {}).items()
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# whole databases
+# ---------------------------------------------------------------------------
+def database_to_dict(database: VideoDatabase) -> Dict[str, Any]:
+    atomics = []
+    for name in database.atomic_names():
+        for video in database.videos():
+            for level in range(1, video.n_levels + 1):
+                sim = database.atomic_list(name, video.name, level)
+                if sim is not None:
+                    atomics.append(
+                        {
+                            "predicate": name,
+                            "video": video.name,
+                            "level": level,
+                            "list": simlist_to_dict(sim),
+                        }
+                    )
+    return {
+        "format": FORMAT_VERSION,
+        "videos": [video_to_dict(video) for video in database.videos()],
+        "atomics": atomics,
+    }
+
+
+def database_from_dict(document: Dict[str, Any]) -> VideoDatabase:
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported database format {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    database = VideoDatabase()
+    for video_document in document.get("videos", []):
+        database.add(video_from_dict(video_document))
+    for atomic in document.get("atomics", []):
+        database.register_atomic(
+            atomic["predicate"],
+            atomic["video"],
+            simlist_from_dict(atomic["list"]),
+            level=int(atomic.get("level", 2)),
+        )
+    return database
+
+
+def dump_database(database: VideoDatabase, path: str) -> None:
+    """Write a database to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(database_to_dict(database), handle, indent=1)
+
+
+def load_database(path: str) -> VideoDatabase:
+    """Read a database from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return database_from_dict(json.load(handle))

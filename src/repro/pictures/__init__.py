@@ -1,0 +1,12 @@
+"""Picture-retrieval substrate: atom scoring, indices, similarity tables."""
+
+from repro.pictures.index import MetadataIndex
+from repro.pictures.retrieval import PictureRetrievalSystem
+from repro.pictures.scoring import max_similarity, score
+
+__all__ = [
+    "PictureRetrievalSystem",
+    "MetadataIndex",
+    "score",
+    "max_similarity",
+]

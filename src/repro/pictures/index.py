@@ -1,0 +1,84 @@
+"""Inverted indices over segment meta-data.
+
+The picture-retrieval systems the paper builds on ([27, 25, 2]) answer
+atomic queries "employing indices on the meta-data"; this module provides
+the equivalent: postings lists from objects, types, relationship names and
+segment attributes to 1-based segment ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.model.metadata import AttrValue, SegmentMetadata
+
+
+class MetadataIndex:
+    """Postings lists for one sequence of segments (ids are 1-based)."""
+
+    def __init__(self, segments: Sequence[SegmentMetadata]):
+        self.n_segments = len(segments)
+        self._by_object: Dict[str, List[int]] = {}
+        self._by_type: Dict[str, List[int]] = {}
+        self._by_relationship: Dict[str, List[int]] = {}
+        self._by_segment_attr: Dict[Tuple[str, AttrValue], List[int]] = {}
+        self._objects_of_type: Dict[str, List[str]] = {}
+        object_types_seen: Dict[Tuple[str, str], None] = {}
+        for segment_id, segment in enumerate(segments, start=1):
+            for instance in segment.objects():
+                self._by_object.setdefault(instance.object_id, []).append(
+                    segment_id
+                )
+                self._by_type.setdefault(instance.type, []).append(segment_id)
+                type_key = (instance.type, instance.object_id)
+                if type_key not in object_types_seen:
+                    object_types_seen[type_key] = None
+                    self._objects_of_type.setdefault(instance.type, []).append(
+                        instance.object_id
+                    )
+            for relationship in segment.relationships:
+                self._by_relationship.setdefault(
+                    relationship.name, []
+                ).append(segment_id)
+            for name, fact in segment.attributes.items():
+                self._by_segment_attr.setdefault(
+                    (name, fact.value), []
+                ).append(segment_id)
+
+    # -- postings -----------------------------------------------------------
+    def segments_with_object(self, object_id: str) -> List[int]:
+        """Ids of segments in which the object appears."""
+        return list(self._by_object.get(object_id, []))
+
+    def segments_with_type(self, type_name: str) -> List[int]:
+        """Ids of segments containing at least one object of the type."""
+        postings = self._by_type.get(type_name, [])
+        deduplicated: List[int] = []
+        for segment_id in postings:
+            if not deduplicated or deduplicated[-1] != segment_id:
+                deduplicated.append(segment_id)
+        return deduplicated
+
+    def segments_with_relationship(self, name: str) -> List[int]:
+        """Ids of segments containing a relationship with the name."""
+        postings = self._by_relationship.get(name, [])
+        deduplicated: List[int] = []
+        for segment_id in postings:
+            if not deduplicated or deduplicated[-1] != segment_id:
+                deduplicated.append(segment_id)
+        return deduplicated
+
+    def segments_with_attribute(
+        self, name: str, value: AttrValue
+    ) -> List[int]:
+        """Ids of segments whose segment attribute has exactly the value."""
+        return list(self._by_segment_attr.get((name, value), []))
+
+    # -- object universe ------------------------------------------------------
+    def all_object_ids(self) -> List[str]:
+        """Every universal object id appearing in the sequence."""
+        return list(self._by_object)
+
+    def object_ids_of_type(self, type_name: str) -> List[str]:
+        """Object ids having the given type in some segment."""
+        return list(self._objects_of_type.get(type_name, []))

@@ -1,0 +1,307 @@
+"""The picture-retrieval system: similarity tables for atomic predicates.
+
+This reproduces the role of the paper's underlying picture retrieval
+system ([27, 2]): given an atomic (non-temporal) HTL subformula and a
+sequence of segments, produce the similarity table that the video
+retrieval algorithms consume — one row per relevant evaluation of the free
+object variables (plus range columns for free attribute variables), with
+the similarity list of the atom over the segment sequence.
+
+Attribute variables are handled per paper §3.3: predicates over an
+attribute variable ``y`` are restricted to ``y OP q`` / ``q OP y`` with an
+attribute-variable-free ``q``; the satisfying value space is partitioned
+into elementary ranges at the values ``q`` takes across the sequence, and
+within an elementary range the atom's similarity is constant, so one
+representative value per range suffices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.ranges import FULL, Range, interval
+from repro.core.simlist import SIM_EPS, SimilarityList
+from repro.core.tables import SimilarityTable, TableRow
+from repro.errors import HTLTypeError, UnsupportedFormulaError
+from repro.htl import ast
+from repro.htl.classify import is_non_temporal
+from repro.htl.variables import (
+    free_attr_vars,
+    free_object_vars,
+    term_attr_vars,
+)
+from repro.model.metadata import SegmentMetadata
+from repro.pictures.index import MetadataIndex
+from repro.pictures.scoring import eval_term, max_similarity, score
+
+
+class PictureRetrievalSystem:
+    """Atom evaluation over one segment sequence, with indices."""
+
+    def __init__(self, segments: Sequence[SegmentMetadata]):
+        self.segments = list(segments)
+        self.index = MetadataIndex(self.segments)
+        self._universe = self.index.all_object_ids()
+
+    @property
+    def universe(self) -> List[str]:
+        """Object ids appearing anywhere in the sequence."""
+        return list(self._universe)
+
+    # ------------------------------------------------------------------
+    def similarity_table(
+        self,
+        atom: ast.Formula,
+        universe: Optional[Sequence[str]] = None,
+        prune: bool = False,
+    ) -> SimilarityTable:
+        """The similarity table of a non-temporal formula.
+
+        ``universe`` is the pool object variables (free and inner-∃ alike)
+        range over; it defaults to the sequence's objects.  With
+        ``prune=True``, bindings whose variables never co-occur with the
+        atom's object conditions are skipped — the "relevant evaluations"
+        reading of the paper; the default enumerates every binding, which
+        is what the definitional semantics prescribe under partial
+        matching.
+        """
+        if not is_non_temporal(atom):
+            raise UnsupportedFormulaError(
+                "the picture system evaluates non-temporal formulas only"
+            )
+        _check_attr_var_usage(atom)
+        pool = list(universe) if universe is not None else list(self._universe)
+        object_vars = sorted(free_object_vars(atom))
+        attr_vars = sorted(free_attr_vars(atom))
+        maximum = max_similarity(atom)
+
+        candidate_pool = (
+            self._pruned_candidates(atom, object_vars, pool)
+            if prune
+            else {name: pool for name in object_vars}
+        )
+
+        rows: List[TableRow] = []
+        bindings = itertools.product(
+            *(candidate_pool[name] for name in object_vars)
+        )
+        for values in bindings:
+            binding = dict(zip(object_vars, values))
+            if attr_vars:
+                rows.extend(
+                    self._attr_var_rows(
+                        atom, binding, tuple(values), attr_vars, pool, maximum
+                    )
+                )
+            else:
+                sim = self._score_list(atom, binding, pool, maximum)
+                # Open tables keep only relevant (non-empty) evaluations;
+                # a closed atom always keeps its single row so downstream
+                # joins see the evaluation even at similarity zero.
+                if sim or not object_vars:
+                    rows.append(TableRow(tuple(values), (), sim))
+        return SimilarityTable(object_vars, attr_vars, rows, maximum)
+
+    def similarity_list(
+        self, atom: ast.Formula, universe: Optional[Sequence[str]] = None
+    ) -> SimilarityList:
+        """Similarity list of a closed atom (no free variables)."""
+        table = self.similarity_table(atom, universe=universe)
+        return table.closed_list()
+
+    # ------------------------------------------------------------------
+    def _score_list(
+        self,
+        atom: ast.Formula,
+        binding: Dict[str, Union[str, int, float]],
+        pool: Sequence[str],
+        maximum: float,
+    ) -> SimilarityList:
+        values: Dict[int, float] = {}
+        for segment_id, segment in enumerate(self.segments, start=1):
+            actual = score(atom, segment, binding, pool)
+            if actual > SIM_EPS:
+                values[segment_id] = actual
+        return SimilarityList.from_segment_values(values, maximum)
+
+    def _attr_var_rows(
+        self,
+        atom: ast.Formula,
+        binding: Dict[str, Union[str, int, float]],
+        objects: Tuple[str, ...],
+        attr_vars: List[str],
+        pool: Sequence[str],
+        maximum: float,
+    ) -> List[TableRow]:
+        per_var_ranges = [
+            _elementary_ranges(self._boundary_values(atom, name, binding))
+            for name in attr_vars
+        ]
+        rows: List[TableRow] = []
+        for box in itertools.product(*per_var_ranges):
+            extended = dict(binding)
+            skip = False
+            for name, value_range in zip(attr_vars, box):
+                sample = _range_sample(value_range)
+                if sample is None:
+                    skip = True
+                    break
+                extended[name] = sample
+            if skip:
+                continue
+            sim = self._score_list(atom, extended, pool, maximum)
+            if sim:
+                rows.append(TableRow(objects, box, sim))
+        return rows
+
+    def _boundary_values(
+        self,
+        atom: ast.Formula,
+        attr_var: str,
+        binding: Dict[str, Union[str, int, float]],
+    ) -> "Tuple[Set[int], Set[Union[str, float]]]":
+        """Values the variable is compared against, across the sequence."""
+        int_bounds: Set[int] = set()
+        exact_bounds: Set[Union[str, float]] = set()
+        for node in atom.walk():
+            if not isinstance(node, ast.Compare):
+                continue
+            other = _compared_term(node, attr_var)
+            if other is None:
+                continue
+            for segment in self.segments:
+                evaluated = eval_term(other, segment, binding)
+                if evaluated is None:
+                    continue
+                value = evaluated[0]
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, int):
+                    int_bounds.add(value)
+                else:
+                    exact_bounds.add(value)
+        return int_bounds, exact_bounds
+
+    def _pruned_candidates(
+        self,
+        atom: ast.Formula,
+        object_vars: List[str],
+        pool: Sequence[str],
+    ) -> Dict[str, List[str]]:
+        """Heuristic candidate narrowing from top-level type constraints."""
+        candidates = {name: list(pool) for name in object_vars}
+        for node in atom.walk():
+            if (
+                isinstance(node, ast.Compare)
+                and node.op == "="
+                and isinstance(node.left, ast.AttrFunc)
+                and node.left.name == "type"
+                and len(node.left.args) == 1
+                and isinstance(node.left.args[0], ast.ObjectVar)
+                and isinstance(node.right, ast.Const)
+                and isinstance(node.right.value, str)
+            ):
+                name = node.left.args[0].name
+                if name in candidates:
+                    typed = set(self.index.object_ids_of_type(node.right.value))
+                    candidates[name] = [
+                        object_id
+                        for object_id in candidates[name]
+                        if object_id in typed
+                    ]
+        return candidates
+
+
+# ---------------------------------------------------------------------------
+# attribute-variable helpers
+# ---------------------------------------------------------------------------
+def _compared_term(node: ast.Compare, attr_var: str) -> Optional[ast.Term]:
+    """The attr-var-free side of a comparison against ``attr_var``."""
+    left_is_var = isinstance(node.left, ast.AttrVar) and node.left.name == attr_var
+    right_is_var = (
+        isinstance(node.right, ast.AttrVar) and node.right.name == attr_var
+    )
+    if left_is_var and not right_is_var:
+        return node.right
+    if right_is_var and not left_is_var:
+        return node.left
+    return None
+
+
+def _check_attr_var_usage(atom: ast.Formula) -> None:
+    """Enforce the paper's restriction on attribute-variable predicates."""
+    for node in atom.walk():
+        if isinstance(node, ast.Compare):
+            left_vars = term_attr_vars(node.left)
+            right_vars = term_attr_vars(node.right)
+            if left_vars and right_vars:
+                raise HTLTypeError(
+                    "attribute variables may only be compared with "
+                    f"attribute-variable-free expressions: {node!r}"
+                )
+            for side, vars_in_side in (
+                (node.left, left_vars),
+                (node.right, right_vars),
+            ):
+                if vars_in_side and not isinstance(side, ast.AttrVar):
+                    raise HTLTypeError(
+                        "attribute variables may appear only bare on one "
+                        f"side of a comparison: {node!r}"
+                    )
+        elif isinstance(node, ast.Rel):
+            for arg in node.args:
+                if term_attr_vars(arg):
+                    raise HTLTypeError(
+                        "attribute variables may not appear in relationship "
+                        f"arguments: {node!r}"
+                    )
+        elif isinstance(node, ast.Present):
+            continue
+
+
+def _elementary_ranges(
+    bounds: "Tuple[Set[int], Set[Union[str, float]]]",
+) -> List[Range]:
+    """Partition the value space at the boundary values.
+
+    An integer-typed variable splits into singletons at each bound and the
+    open blocks between; a non-integer-typed variable splits into one exact
+    range per mentioned value plus the complement ("any other value", whose
+    satisfaction pattern is uniform because only equality predicates apply).
+    Mixing value types on one variable is rejected — an attribute variable
+    has one type, as in the paper.
+    """
+    int_bounds, exact_bounds = bounds
+    if int_bounds and exact_bounds:
+        raise HTLTypeError(
+            "an attribute variable is compared against both integer and "
+            f"non-integer values ({sorted(int_bounds)} vs "
+            f"{sorted(exact_bounds, key=repr)})"
+        )
+    if exact_bounds:
+        ranges: List[Range] = [
+            Range(exact=value) for value in sorted(exact_bounds, key=repr)
+        ]
+        ranges.append(Range(excluded=frozenset(exact_bounds)))
+        return ranges
+    ordered = sorted(int_bounds)
+    if not ordered:
+        return [FULL]
+    ranges = [interval(None, ordered[0] - 1)]
+    for position, bound in enumerate(ordered):
+        ranges.append(interval(bound, bound))
+        next_bound = (
+            ordered[position + 1] if position + 1 < len(ordered) else None
+        )
+        if next_bound is None:
+            ranges.append(interval(bound + 1, None))
+        elif bound + 1 <= next_bound - 1:
+            ranges.append(interval(bound + 1, next_bound - 1))
+    return ranges
+
+
+def _range_sample(value_range: Range) -> Optional[Union[str, int, float]]:
+    if value_range.is_exact():
+        return value_range.exact  # type: ignore[return-value]
+    return value_range.sample()

@@ -1,0 +1,239 @@
+"""Similarity scoring of non-temporal formulas on a single segment.
+
+This is the reproduction's stand-in for the picture-retrieval scoring of
+the paper's references [27, 25, 2]: a non-temporal formula is a weighted
+set of conditions; the maximum similarity is the total weight (a function
+of the formula alone) and the actual similarity is the weight of the
+satisfied conditions, each scaled by the confidence of the meta-data facts
+it matched.  Confidences below 1 are how fractional similarity values such
+as the paper's 9.787 arise.
+
+The same scorer backs both the picture-retrieval table builder and the
+naive reference-semantics oracle, so atom-level agreement is by
+construction; the list/table algebra is what the oracle then cross-checks.
+
+Semantics of the pieces (``w`` is the condition weight, default 1):
+
+* ``present(x)`` — ``w * confidence(object)`` when the bound object id
+  appears in the segment, else 0.
+* comparisons — ``w * conf(left) * conf(right)`` when both terms are
+  defined and the comparison holds, else 0.  Cross-type ordered
+  comparisons are unsatisfied; ``=``/``!=`` compare across types.
+* relationships — ``w * confidence(tuple)`` when a relationship with that
+  name and exactly those argument values exists in the segment.
+* ``g ∧ h`` — sum of the parts; ``g ∨ h`` — best part; ``¬g`` — the
+  unsatisfied weight ``m(g) - a(g)``.
+* ``∃x g`` — maximum over the object universe.
+* ``true`` — ``(1, 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import UnsupportedFormulaError
+from repro.htl import ast
+from repro.model.metadata import SegmentMetadata
+
+#: A binding of variable names (object and attribute alike) to values.
+Binding = Dict[str, Union[str, int, float]]
+
+#: Sentinel id standing for "any object not appearing in the video".  The
+#: paper's evaluations range over a *universal* set of object ids, so ∃
+#: must also consider objects absent from every segment (they score zero on
+#: presence/attribute/relationship conditions but may still maximise a
+#: formula through its variable-free or negated conditions).  One fresh id
+#: represents that whole class; see the module docstring for the known
+#: approximation (two distinct unknown objects are not distinguishable).
+FRESH_OBJECT_ID = "__no_such_object__"
+
+
+def exists_pool(universe: Sequence[str]) -> "list[str]":
+    """The pool an existential quantifier ranges over."""
+    pool = [oid for oid in universe if oid != FRESH_OBJECT_ID]
+    pool.append(FRESH_OBJECT_ID)
+    return pool
+
+
+def max_similarity(formula: ast.Formula) -> float:
+    """The maximum similarity ``m`` of a non-temporal formula.
+
+    Depends only on the formula (paper §2.5: "the maximum m is only a
+    function of f").
+    """
+    if isinstance(formula, (ast.Truth, ast.Present, ast.Compare, ast.Rel)):
+        return 1.0
+    if isinstance(formula, ast.Weighted):
+        return formula.weight * max_similarity(formula.sub)
+    if isinstance(formula, ast.And):
+        return max_similarity(formula.left) + max_similarity(formula.right)
+    if isinstance(formula, ast.Or):
+        return max(max_similarity(formula.left), max_similarity(formula.right))
+    if isinstance(formula, ast.Not):
+        return max_similarity(formula.sub)
+    if isinstance(formula, ast.Exists):
+        return max_similarity(formula.sub)
+    if isinstance(formula, ast.Freeze):
+        # A freeze with no temporal operator in scope binds within the
+        # current segment only; it is a non-temporal formula (paper §2.2).
+        return max_similarity(formula.sub)
+    if isinstance(formula, ast.AtomicRef):
+        raise UnsupportedFormulaError(
+            f"atomic reference {formula.name!r} has no intrinsic maximum; "
+            "its registered similarity list carries one"
+        )
+    raise UnsupportedFormulaError(
+        f"{type(formula).__name__} is not a non-temporal formula"
+    )
+
+
+def eval_term(
+    term: ast.Term, segment: SegmentMetadata, binding: Binding
+) -> Optional[Tuple[Union[str, int, float], float]]:
+    """Evaluate a term to ``(value, confidence)``; None when undefined."""
+    if isinstance(term, ast.Const):
+        return term.value, 1.0
+    if isinstance(term, (ast.ObjectVar, ast.AttrVar)):
+        if term.name not in binding:
+            return None
+        return binding[term.name], 1.0
+    if isinstance(term, ast.AttrFunc):
+        if not term.args:
+            fact = segment.segment_attribute(term.name)
+            return None if fact is None else (fact.value, fact.confidence)
+        holder = eval_term(term.args[0], segment, binding)
+        if holder is None:
+            return None
+        object_id, holder_confidence = holder
+        if not isinstance(object_id, str):
+            return None
+        fact = segment.object_attribute(object_id, term.name)
+        if fact is None:
+            return None
+        return fact.value, fact.confidence * holder_confidence
+    raise UnsupportedFormulaError(f"cannot evaluate term {term!r}")
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_values(op: str, left: object, right: object) -> bool:
+    """Apply a comparison operator with cross-type care.
+
+    ``=``/``!=`` work across types (unequal types are simply unequal);
+    ordered comparisons require both numbers or both strings.
+    """
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    comparable = (_is_number(left) and _is_number(right)) or (
+        isinstance(left, str) and isinstance(right, str)
+    )
+    if not comparable:
+        return False
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    return left >= right  # '>='
+
+
+def score(
+    formula: ast.Formula,
+    segment: SegmentMetadata,
+    binding: Binding,
+    universe: Sequence[str] = (),
+) -> float:
+    """Actual similarity ``a`` of a non-temporal formula at one segment.
+
+    ``universe`` is the pool of object ids an inner ``∃`` quantifies over;
+    pass the video's object universe for definitional fidelity (it defaults
+    to the segment's own objects inside :func:`score_with_segment_universe`).
+    """
+    if isinstance(formula, ast.Truth):
+        return 1.0
+    if isinstance(formula, ast.Present):
+        object_id = binding.get(formula.var.name)
+        if not isinstance(object_id, str):
+            return 0.0
+        instance = segment.object(object_id)
+        return instance.confidence if instance is not None else 0.0
+    if isinstance(formula, ast.Compare):
+        left = eval_term(formula.left, segment, binding)
+        right = eval_term(formula.right, segment, binding)
+        if left is None or right is None:
+            return 0.0
+        if compare_values(formula.op, left[0], right[0]):
+            return left[1] * right[1]
+        return 0.0
+    if isinstance(formula, ast.Rel):
+        values = []
+        confidence = 1.0
+        for arg in formula.args:
+            evaluated = eval_term(arg, segment, binding)
+            if evaluated is None:
+                return 0.0
+            values.append(evaluated[0])
+            confidence *= evaluated[1]
+        match = segment.find_relationship(formula.name, tuple(values))
+        if match is None:
+            return 0.0
+        return confidence * match.confidence
+    if isinstance(formula, ast.Weighted):
+        return formula.weight * score(formula.sub, segment, binding, universe)
+    if isinstance(formula, ast.And):
+        return score(formula.left, segment, binding, universe) + score(
+            formula.right, segment, binding, universe
+        )
+    if isinstance(formula, ast.Or):
+        return max(
+            score(formula.left, segment, binding, universe),
+            score(formula.right, segment, binding, universe),
+        )
+    if isinstance(formula, ast.Not):
+        return max_similarity(formula.sub) - score(
+            formula.sub, segment, binding, universe
+        )
+    if isinstance(formula, ast.Exists):
+        base = list(universe) if universe else list(segment.object_ids())
+        return _score_exists(formula, segment, binding, exists_pool(base))
+    if isinstance(formula, ast.Freeze):
+        captured = eval_term(formula.func, segment, binding)
+        if captured is None:
+            # Capturing an undefined attribute fails the whole freeze
+            # (DESIGN.md §2 convention, matching the reference semantics).
+            return 0.0
+        extended = dict(binding)
+        extended[formula.var] = captured[0]
+        return score(formula.sub, segment, extended, universe)
+    raise UnsupportedFormulaError(
+        f"{type(formula).__name__} is not scorable on a single segment"
+    )
+
+
+def _score_exists(
+    formula: ast.Exists,
+    segment: SegmentMetadata,
+    binding: Binding,
+    pool: Sequence[str],
+) -> float:
+    """Max over assignments of the quantified variables from ``pool``."""
+    best = 0.0
+    names = formula.vars
+
+    def assign(position: int, current: Binding) -> None:
+        nonlocal best
+        if position == len(names):
+            best = max(best, score(formula.sub, segment, current, pool))
+            return
+        for object_id in pool:
+            extended = dict(current)
+            extended[names[position]] = object_id
+            assign(position + 1, extended)
+
+    assign(0, dict(binding))
+    return best

@@ -1,0 +1,16 @@
+"""The SQL-based baseline: mini relational engine + HTL→SQL translation."""
+
+from repro.sqlbaseline.relational.executor import Database, ResultSet
+from repro.sqlbaseline.system import SQLRetrievalSystem, Type2SQLSystem
+from repro.sqlbaseline.translate import SQLTranslator, Translation
+from repro.sqlbaseline.translate_type2 import Type2SQLTranslator
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "SQLRetrievalSystem",
+    "Type2SQLSystem",
+    "SQLTranslator",
+    "Type2SQLTranslator",
+    "Translation",
+]

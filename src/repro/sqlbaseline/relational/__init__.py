@@ -1,0 +1,6 @@
+"""Mini relational engine: SQL subset lexer, parser, catalog, executor."""
+
+from repro.sqlbaseline.relational.executor import Database, ExecutionStats, ResultSet
+from repro.sqlbaseline.relational.relation import Catalog, Relation
+
+__all__ = ["Database", "ResultSet", "ExecutionStats", "Catalog", "Relation"]

@@ -1,0 +1,189 @@
+"""Relations (tables/results) and the catalog of the mini engine."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SQLCatalogError, SQLExecutionError
+
+SQLValue = Union[str, int, float, bool, None]
+Row = Tuple[SQLValue, ...]
+
+_TYPE_CHECKS = {
+    "INTEGER": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "REAL": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "TEXT": lambda v: isinstance(v, str),
+}
+
+
+@dataclass
+class Relation:
+    """A named bag of rows with typed columns."""
+
+    name: str
+    columns: Tuple[str, ...]
+    types: Tuple[str, ...]
+    rows: List[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.types):
+            raise SQLExecutionError(
+                f"table {self.name!r}: {len(self.columns)} columns but "
+                f"{len(self.types)} types"
+            )
+        if len(set(self.columns)) != len(self.columns):
+            raise SQLCatalogError(
+                f"table {self.name!r} has duplicate column names"
+            )
+        self._position: Dict[str, int] = {
+            column: position for position, column in enumerate(self.columns)
+        }
+        self._sorted_cache: Dict[str, "SortedColumn"] = {}
+
+    def column_position(self, column: str) -> int:
+        try:
+            return self._position[column]
+        except KeyError:
+            raise SQLCatalogError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def coerce_row(self, values: Sequence[SQLValue]) -> Row:
+        """Validate arity and types (NULL always allowed); coerce ints to
+        float for REAL columns."""
+        if len(values) != len(self.columns):
+            raise SQLExecutionError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(values)}"
+            )
+        coerced: List[SQLValue] = []
+        for value, type_name, column in zip(values, self.types, self.columns):
+            if value is None:
+                coerced.append(None)
+                continue
+            if type_name == "REAL" and isinstance(value, int):
+                value = float(value)
+            if not _TYPE_CHECKS[type_name](value):
+                raise SQLExecutionError(
+                    f"value {value!r} is not a {type_name} "
+                    f"(column {self.name}.{column})"
+                )
+            coerced.append(value)
+        return tuple(coerced)
+
+    def insert(self, values: Sequence[SQLValue]) -> None:
+        self.rows.append(self.coerce_row(values))
+        self._sorted_cache.clear()
+
+    def insert_many(self, rows: Iterable[Sequence[SQLValue]]) -> int:
+        count = 0
+        for values in rows:
+            self.rows.append(self.coerce_row(values))
+            count += 1
+        self._sorted_cache.clear()
+        return count
+
+    def delete_where(self, keep) -> int:
+        """Remove rows failing ``keep(row) -> bool``; returns removed count."""
+        before = len(self.rows)
+        self.rows = [row for row in self.rows if keep(row)]
+        self._sorted_cache.clear()
+        return before - len(self.rows)
+
+    def invalidate_caches(self) -> None:
+        """Drop derived structures after direct row mutation."""
+        self._sorted_cache.clear()
+
+    def sorted_column(self, column: str) -> "SortedColumn":
+        """A (cached) sorted view of one column for range probes."""
+        cached = self._sorted_cache.get(column)
+        if cached is None:
+            cached = SortedColumn(self, self.column_position(column))
+            self._sorted_cache[column] = cached
+        return cached
+
+
+class SortedColumn:
+    """Rows of a relation ordered by one column (NULLs excluded).
+
+    Supports range probes and running prefix/suffix aggregates, which back
+    the executor's index-range joins and correlated-aggregate shortcuts.
+    """
+
+    def __init__(self, relation: Relation, position: int):
+        decorated = [
+            (row[position], row)
+            for row in relation.rows
+            if row[position] is not None
+        ]
+        decorated.sort(key=lambda pair: pair[0])
+        self.keys: List[SQLValue] = [key for key, __ in decorated]
+        self.ordered_rows: List[Row] = [row for __, row in decorated]
+
+    def rows_in_range(
+        self,
+        low: Optional[SQLValue],
+        high: Optional[SQLValue],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> List[Row]:
+        """Rows whose key lies within the (possibly half-open) range."""
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self.keys, low)
+        else:
+            start = bisect.bisect_right(self.keys, low)
+        if high is None:
+            stop = len(self.keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self.keys, high)
+        else:
+            stop = bisect.bisect_left(self.keys, high)
+        return self.ordered_rows[start:stop]
+
+
+class Catalog:
+    """Named tables plus declared (advisory) indexes."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Relation] = {}
+        self.indexes: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+
+    def create(
+        self,
+        name: str,
+        columns: Sequence[str],
+        types: Sequence[str],
+        if_not_exists: bool = False,
+    ) -> Relation:
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise SQLCatalogError(f"table {name!r} already exists")
+        relation = Relation(name, tuple(columns), tuple(types))
+        self._tables[key] = relation
+        return relation
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise SQLCatalogError(f"no table named {name!r}")
+        del self._tables[key]
+
+    def get(self, name: str) -> Relation:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SQLCatalogError(f"no table named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return [relation.name for relation in self._tables.values()]

@@ -1,0 +1,472 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SQLSyntaxError
+from repro.sqlbaseline.relational import sql_ast as ast
+from repro.sqlbaseline.relational.tokens import SQLToken, tokenize_sql
+
+_TYPE_ALIASES = {
+    "INTEGER": "INTEGER",
+    "INT": "INTEGER",
+    "REAL": "REAL",
+    "FLOAT": "REAL",
+    "TEXT": "TEXT",
+    "VARCHAR": "TEXT",
+}
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse_sql(text: str) -> List[ast.Statement]:
+    """Parse a script of ``;``-separated statements."""
+    parser = _Parser(tokenize_sql(text))
+    statements: List[ast.Statement] = []
+    while not parser.at_eof():
+        statements.append(parser.parse_statement())
+        while parser.accept_symbol(";"):
+            pass
+    return statements
+
+
+def parse_one(text: str) -> ast.Statement:
+    """Parse exactly one statement."""
+    statements = parse_sql(text)
+    if len(statements) != 1:
+        raise SQLSyntaxError(
+            f"expected exactly one statement, got {len(statements)}"
+        )
+    return statements[0]
+
+
+class _Parser:
+    def __init__(self, tokens: List[SQLToken]):
+        self._tokens = tokens
+        self._index = 0
+
+    # -- plumbing -----------------------------------------------------------
+    @property
+    def _current(self) -> SQLToken:
+        return self._tokens[self._index]
+
+    def _advance(self) -> SQLToken:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self._current.kind == "eof"
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        token = self._current
+        return SQLSyntaxError(
+            f"{message}, found {token.kind} {token.value!r}",
+            token.line,
+            token.column,
+        )
+
+    def accept_keyword(self, word: str) -> bool:
+        if self._current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self._error(f"expected {word}")
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self._current.is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+
+    def expect_ident(self) -> str:
+        if self._current.kind != "ident":
+            raise self._error("expected an identifier")
+        return str(self._advance().value)
+
+    # -- statements -----------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        if self._current.is_keyword("CREATE"):
+            return self._parse_create()
+        if self._current.is_keyword("DROP"):
+            return self._parse_drop()
+        if self._current.is_keyword("INSERT"):
+            return self._parse_insert()
+        if self._current.is_keyword("DELETE"):
+            return self._parse_delete()
+        if self._current.is_keyword("UPDATE"):
+            return self._parse_update()
+        if self._current.is_keyword("SELECT"):
+            return self._parse_select_like()
+        raise self._error("expected a statement")
+
+    def _parse_create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("INDEX"):
+            name = self.expect_ident()
+            self.expect_keyword("ON")
+            table = self.expect_ident()
+            self.expect_symbol("(")
+            columns = [self.expect_ident()]
+            while self.accept_symbol(","):
+                columns.append(self.expect_ident())
+            self.expect_symbol(")")
+            return ast.CreateIndex(name, table, tuple(columns))
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            # NOT is a keyword; EXISTS follows
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_ident()
+        self.expect_symbol("(")
+        columns = [self._parse_column_def()]
+        while self.accept_symbol(","):
+            columns.append(self._parse_column_def())
+        self.expect_symbol(")")
+        return ast.CreateTable(name, tuple(columns), if_not_exists)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident()
+        token = self._advance()
+        if token.kind != "keyword" or token.value not in _TYPE_ALIASES:
+            raise self._error("expected a column type")
+        return ast.ColumnDef(name, _TYPE_ALIASES[str(token.value)])
+
+    def _parse_drop(self) -> ast.Statement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self.expect_ident(), if_exists)
+
+    def _parse_insert(self) -> ast.Statement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: Tuple[str, ...] = ()
+        if self.accept_symbol("("):
+            names = [self.expect_ident()]
+            while self.accept_symbol(","):
+                names.append(self.expect_ident())
+            self.expect_symbol(")")
+            columns = tuple(names)
+        if self.accept_keyword("VALUES"):
+            rows = [self._parse_value_row()]
+            while self.accept_symbol(","):
+                rows.append(self._parse_value_row())
+            return ast.InsertValues(table, columns, tuple(rows))
+        query = self._parse_select_like()
+        return ast.InsertSelect(table, columns, query)
+
+    def _parse_value_row(self) -> Tuple[ast.Expr, ...]:
+        self.expect_symbol("(")
+        values = [self.parse_expr()]
+        while self.accept_symbol(","):
+            values.append(self.parse_expr())
+        self.expect_symbol(")")
+        return tuple(values)
+
+    def _parse_delete(self) -> ast.Statement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def _parse_update(self) -> ast.Statement:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self.accept_symbol(","):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> "tuple[str, ast.Expr]":
+        column = self.expect_ident()
+        self.expect_symbol("=")
+        return column, self.parse_expr()
+
+    def _parse_select_like(self) -> ast.SelectLike:
+        first = self._parse_select()
+        parts = [first]
+        while self._current.is_keyword("UNION"):
+            self.expect_keyword("UNION")
+            self.expect_keyword("ALL")
+            parts.append(self._parse_select())
+        if len(parts) == 1:
+            return first
+        return ast.UnionAll(tuple(parts))
+
+    def _parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items: List[Union[ast.SelectItem, ast.StarItem]] = [
+            self._parse_select_item()
+        ]
+        while self.accept_symbol(","):
+            items.append(self._parse_select_item())
+        tables: List[ast.TableRef] = []
+        if self.accept_keyword("FROM"):
+            tables.append(self._parse_table_ref())
+            while self.accept_symbol(","):
+                tables.append(self._parse_table_ref())
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: Tuple[ast.Expr, ...] = ()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            exprs = [self.parse_expr()]
+            while self.accept_symbol(","):
+                exprs.append(self.parse_expr())
+            group_by = tuple(exprs)
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+        order_by: List[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_symbol(","):
+                order_by.append(self._parse_order_item())
+        limit: Optional[int] = None
+        if self.accept_keyword("LIMIT"):
+            token = self._advance()
+            if token.kind != "number" or not isinstance(token.value, int):
+                raise self._error("LIMIT expects an integer")
+            limit = token.value
+        return ast.Select(
+            items=tuple(items),
+            tables=tuple(tables),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> Union[ast.SelectItem, ast.StarItem]:
+        if self._current.is_symbol("*"):
+            self._advance()
+            return ast.StarItem()
+        # alias.* form
+        if (
+            self._current.kind == "ident"
+            and self._index + 2 < len(self._tokens)
+            and self._tokens[self._index + 1].is_symbol(".")
+            and self._tokens[self._index + 2].is_symbol("*")
+        ):
+            table = self.expect_ident()
+            self.expect_symbol(".")
+            self.expect_symbol("*")
+            return ast.StarItem(table)
+        expr = self.parse_expr()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self._current.kind == "ident":
+            alias = self.expect_ident()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = name
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self._current.kind == "ident":
+            alias = self.expect_ident()
+        return ast.TableRef(name, alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    # -- expressions ------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        expr = self._parse_and()
+        while self.accept_keyword("OR"):
+            expr = ast.Binary("OR", expr, self._parse_and())
+        return expr
+
+    def _parse_and(self) -> ast.Expr:
+        expr = self._parse_not()
+        while self.accept_keyword("AND"):
+            expr = ast.Binary("AND", expr, self._parse_not())
+        return expr
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            if self._current.is_keyword("EXISTS"):
+                exists = self._parse_exists()
+                return ast.ExistsExpr(exists.query, negated=True)
+            return ast.Unary("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        if self._current.is_keyword("EXISTS"):
+            return self._parse_exists()
+        expr = self._parse_additive()
+        token = self._current
+        if token.kind == "symbol" and token.value in _COMPARISONS:
+            op = str(self._advance().value)
+            if op == "<>":
+                op = "!="
+            return ast.Binary(op, expr, self._parse_additive())
+        negated = False
+        if self._current.is_keyword("NOT"):
+            # BETWEEN / IN / LIKE negation
+            probe = self._tokens[self._index + 1]
+            if (
+                probe.is_keyword("BETWEEN")
+                or probe.is_keyword("IN")
+                or probe.is_keyword("LIKE")
+            ):
+                self._advance()
+                negated = True
+        if self.accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(expr, low, high, negated)
+        if self.accept_keyword("IN"):
+            self.expect_symbol("(")
+            if self._current.is_keyword("SELECT"):
+                query = self._parse_select()
+                self.expect_symbol(")")
+                return ast.InExpr(expr, None, query, negated)
+            values = [self.parse_expr()]
+            while self.accept_symbol(","):
+                values.append(self.parse_expr())
+            self.expect_symbol(")")
+            return ast.InExpr(expr, tuple(values), None, negated)
+        if self.accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            return ast.Like(expr, pattern, negated)
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNull(expr, is_negated)
+        return expr
+
+    def _parse_exists(self) -> ast.ExistsExpr:
+        self.expect_keyword("EXISTS")
+        self.expect_symbol("(")
+        query = self._parse_select()
+        self.expect_symbol(")")
+        return ast.ExistsExpr(query)
+
+    def _parse_additive(self) -> ast.Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            if self.accept_symbol("+"):
+                expr = ast.Binary("+", expr, self._parse_multiplicative())
+            elif self.accept_symbol("-"):
+                expr = ast.Binary("-", expr, self._parse_multiplicative())
+            elif self.accept_symbol("||"):
+                expr = ast.Binary("||", expr, self._parse_multiplicative())
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        expr = self._parse_unary()
+        while True:
+            if self.accept_symbol("*"):
+                expr = ast.Binary("*", expr, self._parse_unary())
+            elif self.accept_symbol("/"):
+                expr = ast.Binary("/", expr, self._parse_unary())
+            else:
+                return expr
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept_symbol("-"):
+            return ast.Unary("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind == "string":
+            self._advance()
+            return ast.Literal(str(token.value))
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_symbol("("):
+            self._advance()
+            if self._current.is_keyword("SELECT"):
+                query = self._parse_select()
+                self.expect_symbol(")")
+                return ast.ScalarSubquery(query)
+            expr = self.parse_expr()
+            self.expect_symbol(")")
+            return expr
+        if token.kind == "ident":
+            name = self.expect_ident()
+            if self.accept_symbol("("):
+                return self._parse_call(name)
+            if self.accept_symbol("."):
+                column = self.expect_ident()
+                return ast.ColumnRef(name, column)
+            return ast.ColumnRef(None, name)
+        raise self._error("expected an expression")
+
+    def _parse_case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        branches: List[Tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            branches.append((condition, result))
+        otherwise: Optional[ast.Expr] = None
+        if self.accept_keyword("ELSE"):
+            otherwise = self.parse_expr()
+        self.expect_keyword("END")
+        if not branches:
+            raise self._error("CASE needs at least one WHEN branch")
+        return ast.CaseWhen(tuple(branches), otherwise)
+
+    def _parse_call(self, name: str) -> ast.Expr:
+        upper = name.upper()
+        if self._current.is_symbol("*"):
+            self._advance()
+            self.expect_symbol(")")
+            return ast.FuncCall(upper, (), star=True)
+        distinct = self.accept_keyword("DISTINCT")
+        args: List[ast.Expr] = []
+        if not self._current.is_symbol(")"):
+            args.append(self.parse_expr())
+            while self.accept_symbol(","):
+                args.append(self.parse_expr())
+        self.expect_symbol(")")
+        return ast.FuncCall(upper, tuple(args), distinct=distinct)

@@ -1,0 +1,147 @@
+"""Tokenizer for the SQL subset of the mini relational engine.
+
+The subset mirrors what the paper's SQL-based system needs (Sybase-era
+SQL-92): DDL, INSERT (VALUES and SELECT forms), SELECT with joins,
+subqueries, aggregation, set operations and ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Union
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "ASC", "DESC", "LIMIT", "DISTINCT", "AS", "AND", "OR", "NOT",
+        "IN", "EXISTS", "BETWEEN", "IS", "NULL", "LIKE",
+        "CREATE", "TABLE", "INDEX", "ON", "DROP", "IF",
+        "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+        "UNION", "ALL", "CASE", "WHEN", "THEN", "ELSE", "END",
+        "INTEGER", "INT", "REAL", "FLOAT", "TEXT", "VARCHAR",
+        "TRUE", "FALSE",
+    }
+)
+
+_TWO_CHAR = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR = "()*,.+-/<>=;"
+
+
+@dataclass(frozen=True)
+class SQLToken:
+    kind: str  # 'keyword', 'ident', 'number', 'string', 'symbol', 'eof'
+    value: Union[str, int, float]
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "symbol" and self.value == symbol
+
+
+def tokenize_sql(text: str) -> List[SQLToken]:
+    """Tokenize SQL text (keywords case-insensitive, normalised upper)."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[SQLToken]:
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        column = position - line_start + 1
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char.isspace():
+            position += 1
+            continue
+        if text.startswith("--", position):
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        if char == "'":
+            value, position = _scan_string(text, position, line, column)
+            yield SQLToken("string", value, line, column)
+            continue
+        if char.isdigit():
+            value, position = _scan_number(text, position)
+            yield SQLToken("number", value, line, column)
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield SQLToken("keyword", upper, line, column)
+            else:
+                yield SQLToken("ident", word, line, column)
+            position = end
+            continue
+        two = text[position : position + 2]
+        if two in _TWO_CHAR:
+            yield SQLToken("symbol", two, line, column)
+            position += 2
+            continue
+        if char in _ONE_CHAR:
+            yield SQLToken("symbol", char, line, column)
+            position += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r}", line, column)
+    yield SQLToken("eof", "", line, length - line_start + 1)
+
+
+def _scan_string(
+    text: str, position: int, line: int, column: int
+) -> "tuple[str, int]":
+    end = position + 1
+    chunks: List[str] = []
+    while end < len(text):
+        char = text[end]
+        if char == "'":
+            if end + 1 < len(text) and text[end + 1] == "'":
+                chunks.append("'")
+                end += 2
+                continue
+            return "".join(chunks), end + 1
+        chunks.append(char)
+        end += 1
+    raise SQLSyntaxError("unterminated string literal", line, column)
+
+
+def _scan_number(text: str, position: int) -> "tuple[Union[int, float], int]":
+    end = position
+    while end < len(text) and text[end].isdigit():
+        end += 1
+    is_float = False
+    if (
+        end < len(text)
+        and text[end] == "."
+        and end + 1 < len(text)
+        and text[end + 1].isdigit()
+    ):
+        is_float = True
+        end += 1
+        while end < len(text) and text[end].isdigit():
+            end += 1
+    if end < len(text) and text[end] in "eE":
+        probe = end + 1
+        if probe < len(text) and text[probe] in "+-":
+            probe += 1
+        if probe < len(text) and text[probe].isdigit():
+            is_float = True
+            end = probe
+            while end < len(text) and text[end].isdigit():
+                end += 1
+    literal = text[position:end]
+    return (float(literal) if is_float else int(literal)), end

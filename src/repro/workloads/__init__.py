@@ -1,0 +1,38 @@
+"""Workload generators: Casablanca (paper §4.1), synthetic perf data
+(paper §4.2), and narrative example videos."""
+
+from repro.workloads.casablanca import (
+    casablanca_database,
+    casablanca_video,
+    man_woman_list,
+    moving_train_list,
+    query1,
+)
+from repro.workloads.movies import (
+    example_database,
+    gulf_war_video,
+    random_movie,
+    western_video,
+)
+from repro.workloads.synthetic import (
+    PAPER_SIZES,
+    PerfWorkload,
+    perf_workload,
+    random_similarity_list,
+)
+
+__all__ = [
+    "casablanca_database",
+    "casablanca_video",
+    "moving_train_list",
+    "man_woman_list",
+    "query1",
+    "western_video",
+    "gulf_war_video",
+    "random_movie",
+    "example_database",
+    "random_similarity_list",
+    "perf_workload",
+    "PerfWorkload",
+    "PAPER_SIZES",
+]

@@ -1,0 +1,119 @@
+"""Randomly generated workloads for the performance study (paper §4.2).
+
+"Since we do not have access to large amount of real world data, we
+compared the performance of the two approaches on randomly generated
+data."  The stated parameters: the size is the number of shots in the
+movie, and "approximately about one tenth of these shots satisfy the
+atomic predicates P1 and P2".
+
+:func:`random_similarity_list` draws runs of satisfying shots until the
+target density is met; :func:`perf_workload` packages the P1/P2 pair used
+by Tables 5 and 6, deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.simlist import SimilarityList
+from repro.errors import WorkloadError
+
+#: The paper's measured sizes (number of shots).
+PAPER_SIZES = (10_000, 50_000, 100_000)
+
+#: Fraction of shots satisfying each atomic predicate (paper: "about one
+#: tenth").
+DEFAULT_SATISFY_FRACTION = 0.1
+
+#: Mean length of a run of consecutive satisfying shots.  Real videos
+#: satisfy predicates in contiguous stretches (that is the point of the
+#: interval compression), so runs average a few shots.
+DEFAULT_MEAN_RUN_LENGTH = 4.0
+
+
+def random_similarity_list(
+    n_segments: int,
+    satisfy_fraction: float = DEFAULT_SATISFY_FRACTION,
+    mean_run_length: float = DEFAULT_MEAN_RUN_LENGTH,
+    maximum: float = 20.0,
+    rng: random.Random = None,
+) -> SimilarityList:
+    """A random similarity list over ``1..n_segments``.
+
+    Runs are placed left to right with geometric lengths (mean
+    ``mean_run_length``) separated by geometric gaps sized so the expected
+    covered fraction is ``satisfy_fraction``; actual values are uniform in
+    ``(0, maximum]``.
+    """
+    if n_segments < 0:
+        raise WorkloadError(f"negative segment count {n_segments}")
+    if not 0.0 < satisfy_fraction < 1.0:
+        raise WorkloadError(
+            f"satisfy fraction must be in (0, 1), got {satisfy_fraction}"
+        )
+    if mean_run_length < 1.0:
+        raise WorkloadError(
+            f"mean run length must be >= 1, got {mean_run_length}"
+        )
+    rng = rng or random.Random()
+    mean_gap = mean_run_length * (1.0 - satisfy_fraction) / satisfy_fraction
+    entries: List[Tuple[Tuple[int, int], float]] = []
+    position = 1 + _geometric(rng, mean_gap)
+    while position <= n_segments:
+        length = 1 + _geometric(rng, mean_run_length - 1.0)
+        end = min(position + length - 1, n_segments)
+        actual = rng.uniform(maximum * 0.05, maximum)
+        entries.append(((position, end), actual))
+        position = end + 2 + _geometric(rng, mean_gap)
+    return SimilarityList.from_entries(entries, maximum)
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    """A geometric variate with the given mean (0 when mean <= 0)."""
+    if mean <= 0:
+        return 0
+    success = 1.0 / (mean + 1.0)
+    count = 0
+    while rng.random() > success:
+        count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class PerfWorkload:
+    """One size point of the §4.2 study: the P1 and P2 lists."""
+
+    size: int
+    lists: Dict[str, SimilarityList]
+
+    @property
+    def p1(self) -> SimilarityList:
+        return self.lists["P1"]
+
+    @property
+    def p2(self) -> SimilarityList:
+        return self.lists["P2"]
+
+
+def perf_workload(
+    size: int,
+    seed: int = 1997,
+    satisfy_fraction: float = DEFAULT_SATISFY_FRACTION,
+    mean_run_length: float = DEFAULT_MEAN_RUN_LENGTH,
+    extra_predicates: int = 0,
+) -> PerfWorkload:
+    """The P1/P2 pair (plus optional P3... for the complex formulas)."""
+    rng = random.Random(seed * 1_000_003 + size)
+    names = ["P1", "P2"] + [f"P{k + 3}" for k in range(extra_predicates)]
+    lists = {
+        name: random_similarity_list(
+            size,
+            satisfy_fraction=satisfy_fraction,
+            mean_run_length=mean_run_length,
+            rng=rng,
+        )
+        for name in names
+    }
+    return PerfWorkload(size=size, lists=lists)

@@ -1,0 +1,161 @@
+"""Tests for exact-match (boolean) semantics, and its bridge to similarity.
+
+Key property (paper §2.5: "for an exact match a and m will be equal"):
+a segment exactly satisfying a negation-free formula receives full
+similarity under the definitional semantics, when every metadata fact has
+confidence 1.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.exact import ExactContext, satisfies, satisfying_positions
+from repro.core.semantics import ReferenceContext, reference_value
+from repro.core.simlist import SIM_EPS, SimilarityList
+from repro.errors import UnsupportedFormulaError
+from repro.htl import ast, parse
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import Relationship, SegmentMetadata, make_object
+
+from tests.integration.strategies import flat_videos, type1_formulas
+
+
+def demo_video():
+    segments = [
+        SegmentMetadata(
+            objects=[make_object("jw", "person", name="John Wayne")],
+            relationships=[Relationship("holds_gun", ("jw",))],
+        ),
+        SegmentMetadata(
+            objects=[
+                make_object("jw", "person", name="John Wayne"),
+                make_object("b1", "person"),
+            ],
+            relationships=[Relationship("fires_at", ("jw", "b1"))],
+        ),
+        SegmentMetadata(
+            objects=[make_object("b1", "person")],
+            relationships=[Relationship("on_floor", ("b1",))],
+        ),
+    ]
+    return flat_video("exact-demo", segments)
+
+
+def exact_context():
+    video = demo_video()
+    return ExactContext(
+        nodes=video.nodes_at_level(2),
+        video=video,
+        universe=video.object_universe(),
+    )
+
+
+class TestBooleanConnectives:
+    def test_atoms(self):
+        ctx = exact_context()
+        assert satisfies(parse("holds_gun(x)"), ctx, 1, {"x": "jw"})
+        assert not satisfies(parse("holds_gun(x)"), ctx, 2, {"x": "jw"})
+
+    def test_negation(self):
+        ctx = exact_context()
+        formula = parse("exists x . not present(x)")
+        # b1 is absent from segment 1.
+        assert satisfies(formula, ctx, 1)
+
+    def test_negated_temporal_supported_exactly(self):
+        """Exact semantics covers the *full* language, negation included."""
+        ctx = exact_context()
+        formula = parse("exists y . not eventually on_floor(y)")
+        # jw never ends up on the floor.
+        assert satisfies(formula, ctx, 1)
+
+    def test_disjunction(self):
+        ctx = exact_context()
+        formula = parse("exists x . on_floor(x) or holds_gun(x)")
+        assert satisfies(formula, ctx, 1)
+        assert satisfies(formula, ctx, 3)
+        assert not satisfies(formula, ctx, 2)
+
+
+class TestTemporal:
+    def test_formula_b_shape(self):
+        ctx = exact_context()
+        formula = parse(
+            "exists x, y . holds_gun(x) "
+            "and eventually (fires_at(x, y) and eventually on_floor(y))"
+        )
+        assert satisfying_positions(formula, ctx) == [1]
+
+    def test_until(self):
+        ctx = exact_context()
+        formula = parse("(exists x . present(x)) until on_floor(b)")
+        # 'b' free -> bind through exists instead:
+        formula = parse(
+            "exists b . (exists x . present(x)) until on_floor(b)"
+        )
+        assert satisfies(formula, ctx, 1)
+
+    def test_next(self):
+        ctx = exact_context()
+        formula = parse("exists x, y . next fires_at(x, y)")
+        assert satisfying_positions(formula, ctx) == [1]
+
+    def test_always(self):
+        ctx = exact_context()
+        formula = parse("always exists x . present(x)")
+        assert satisfying_positions(formula, ctx) == [1, 2, 3]
+
+
+class TestAtomicRefs:
+    def test_exact_atomic_means_full_similarity(self):
+        video = demo_video()
+        registered = SimilarityList.from_entries(
+            [((1, 1), 5.0), ((2, 2), 3.0)], 5.0
+        )
+        ctx = ExactContext(
+            nodes=video.nodes_at_level(2),
+            video=video,
+            atomics={"P": registered},
+        )
+        formula = parse("atomic('P')")
+        assert satisfies(formula, ctx, 1)
+        assert not satisfies(formula, ctx, 2)  # partial, not exact
+
+    def test_unregistered_atomic_raises(self):
+        ctx = exact_context()
+        with pytest.raises(UnsupportedFormulaError):
+            satisfies(parse("atomic('ghost')"), ctx, 1)
+
+
+class TestExactImpliesFullSimilarity:
+    @given(type1_formulas(), flat_videos(full_confidence=True))
+    @settings(
+        max_examples=100,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_exact_match_gets_maximum(self, formula, video):
+        if any(isinstance(node, ast.Not) for node in formula.walk()):
+            return  # negation scores (m - a); the implication targets
+            # negation-free formulas
+        nodes = video.nodes_at_level(2)
+        exact_ctx = ExactContext(
+            nodes=nodes, video=video, universe=video.object_universe()
+        )
+        ref_ctx = ReferenceContext(
+            nodes=nodes,
+            video=video,
+            universe=video.object_universe(),
+            threshold=1e-6,  # exact until: any positive g counts... but
+            # threshold only matters when g is partial; with an exact
+            # match g is full, so any threshold <= 1 agrees.
+        )
+        for position in range(1, len(nodes) + 1):
+            if satisfies(formula, exact_ctx, position):
+                actual, maximum = reference_value(
+                    formula, ref_ctx, position, {}
+                )
+                assert actual >= maximum - SIM_EPS, (
+                    f"exact match at {position} but similarity "
+                    f"{actual}/{maximum}"
+                )

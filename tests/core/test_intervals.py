@@ -1,0 +1,108 @@
+"""Unit tests for closed segment-id intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, coalesce, covers, total_length
+from repro.errors import InvalidIntervalError
+
+
+class TestConstruction:
+    def test_single_point(self):
+        interval = Interval(5, 5)
+        assert len(interval) == 1
+        assert 5 in interval
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(10, 5)
+
+    def test_zero_id_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0, 5)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1.5, 3)  # type: ignore[arg-type]
+
+    def test_iteration_yields_all_ids(self):
+        assert list(Interval(3, 6)) == [3, 4, 5, 6]
+
+
+class TestOperations:
+    def test_intersection_overlap(self):
+        assert Interval(1, 10).intersection(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersection_disjoint(self):
+        assert Interval(1, 4).intersection(Interval(6, 9)) is None
+
+    def test_intersects_touching_point(self):
+        assert Interval(1, 5).intersects(Interval(5, 9))
+
+    def test_adjacent_detection(self):
+        assert Interval(1, 4).adjacent_to(Interval(5, 9))
+        assert Interval(5, 9).adjacent_to(Interval(1, 4))
+        assert not Interval(1, 4).adjacent_to(Interval(6, 9))
+        assert not Interval(1, 5).adjacent_to(Interval(5, 9))
+
+    def test_shift_left(self):
+        assert Interval(2, 5).shift(-1) == Interval(1, 4)
+
+    def test_shift_clamps_at_axis_start(self):
+        assert Interval(1, 3).shift(-1) == Interval(1, 2)
+
+    def test_shift_off_axis_returns_none(self):
+        assert Interval(1, 1).shift(-1) is None
+
+    def test_clamp_inside(self):
+        assert Interval(1, 10).clamp(3, 7) == Interval(3, 7)
+
+    def test_clamp_empty(self):
+        assert Interval(1, 2).clamp(5, 9) is None
+
+
+class TestCoalesce:
+    def test_merges_adjacent(self):
+        assert coalesce([Interval(1, 4), Interval(5, 9)]) == [Interval(1, 9)]
+
+    def test_merges_overlapping_out_of_order(self):
+        merged = coalesce([Interval(8, 12), Interval(1, 9)])
+        assert merged == [Interval(1, 12)]
+
+    def test_keeps_gaps(self):
+        merged = coalesce([Interval(1, 3), Interval(5, 7)])
+        assert merged == [Interval(1, 3), Interval(5, 7)]
+
+    def test_empty(self):
+        assert coalesce([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 60), st.integers(0, 8)).map(
+                lambda pair: Interval(pair[0], pair[0] + pair[1])
+            ),
+            max_size=12,
+        )
+    )
+    def test_coalesce_preserves_coverage(self, intervals):
+        merged = coalesce(intervals)
+        original_ids = {i for interval in intervals for i in interval}
+        merged_ids = {i for interval in merged for i in interval}
+        assert original_ids == merged_ids
+        # Output is sorted, disjoint, non-adjacent.
+        for first, second in zip(merged, merged[1:]):
+            assert first.end + 1 < second.begin
+
+
+class TestHelpers:
+    def test_total_length(self):
+        assert total_length([Interval(1, 3), Interval(10, 10)]) == 4
+
+    def test_covers(self):
+        run = [Interval(2, 4), Interval(8, 9)]
+        assert covers(run, 3)
+        assert covers(run, 8)
+        assert not covers(run, 5)
+        assert not covers(run, 1)
+        assert not covers(run, 10)

@@ -1,0 +1,131 @@
+"""Algebraic laws of the list operators (property-based).
+
+These pin semantic identities the paper's definitions imply; a regression
+in any merge algorithm shows up as a broken law long before it shows up
+in an end-to-end query.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.extensions import or_lists
+from repro.core.ops import (
+    and_lists,
+    eventually_list,
+    max_merge_lists,
+    next_list,
+    until_lists,
+)
+from repro.core.simlist import SIM_EPS, SimilarityList
+
+from tests.core.test_simlist import similarity_lists
+
+
+class TestConjunctionLaws:
+    @given(similarity_lists())
+    def test_empty_is_identity_on_values(self, sim):
+        """∧ with an empty list keeps every actual value (only the
+        maximum grows)."""
+        combined = and_lists(sim, SimilarityList.empty(3.0))
+        for entry in sim:
+            assert combined.actual_at(entry.begin) == pytest.approx(
+                entry.actual
+            )
+
+    @given(similarity_lists())
+    def test_self_conjunction_doubles(self, sim):
+        doubled = and_lists(sim, sim)
+        assert doubled == sim.scaled(2.0)
+
+
+class TestTemporalLaws:
+    @given(similarity_lists())
+    def test_eventually_absorbs_eventually(self, sim):
+        assert eventually_list(eventually_list(sim)) == eventually_list(sim)
+
+    @given(similarity_lists())
+    def test_eventually_dominates(self, sim):
+        """eventually f >= f pointwise."""
+        lifted = eventually_list(sim)
+        for entry in sim:
+            assert lifted.actual_at(entry.begin) >= entry.actual - SIM_EPS
+
+    @given(similarity_lists())
+    def test_next_eventually_vs_eventually(self, sim):
+        """eventually f = max(f, next eventually f) pointwise."""
+        ev = eventually_list(sim)
+        recomposed = max_merge_lists([sim, next_list(ev)])
+        assert recomposed == ev
+
+    @given(similarity_lists(), similarity_lists())
+    @settings(max_examples=60)
+    def test_until_bounded_by_eventually(self, left, right):
+        """g until h <= eventually h pointwise (fewer witnesses)."""
+        until = until_lists(left, right, 0.5)
+        ev = eventually_list(right)
+        horizon = max(until.last_id(), ev.last_id()) + 1
+        for position in range(1, horizon + 1):
+            assert (
+                until.actual_at(position) <= ev.actual_at(position) + SIM_EPS
+            )
+
+    @given(similarity_lists(), similarity_lists())
+    @settings(max_examples=60)
+    def test_until_at_least_right(self, left, right):
+        """g until h >= h pointwise (the witness may be the segment
+        itself, regardless of g)."""
+        until = until_lists(left, right, 0.5)
+        for entry in right:
+            assert until.actual_at(entry.begin) >= entry.actual - SIM_EPS
+
+    @given(similarity_lists())
+    def test_true_until_right_is_eventually(self, sim):
+        horizon = max(sim.last_id(), 1)
+        true_list = SimilarityList.from_entries([((1, horizon), 1.0)], 1.0)
+        assert until_lists(true_list, sim, 1.0) == eventually_list(sim)
+
+    @given(similarity_lists(), similarity_lists())
+    @settings(max_examples=60)
+    def test_until_monotone_in_threshold(self, left, right):
+        """A stricter threshold never increases the until value."""
+        strict = until_lists(left, right, 0.9)
+        lax = until_lists(left, right, 0.2)
+        horizon = max(strict.last_id(), lax.last_id()) + 1
+        for position in range(1, horizon + 1):
+            assert (
+                strict.actual_at(position)
+                <= lax.actual_at(position) + SIM_EPS
+            )
+
+
+class TestMaxMergeLaws:
+    @given(similarity_lists(), similarity_lists())
+    def test_or_equals_two_way_max_merge(self, left, right):
+        """With equal maxima, ∨ and the m-way max merge coincide."""
+        right_matched = right.with_maximum(left.maximum)
+        assert or_lists(left, right_matched) == max_merge_lists(
+            [left, right_matched]
+        )
+
+    @given(similarity_lists(), similarity_lists(), similarity_lists())
+    @settings(max_examples=40)
+    def test_max_merge_associative(self, a, b, c):
+        grouped = max_merge_lists([max_merge_lists([a, b]), c])
+        flat = max_merge_lists([a, b, c])
+        assert grouped == flat
+
+
+class TestNextLaws:
+    @given(similarity_lists())
+    def test_double_next_is_double_shift(self, sim):
+        twice = next_list(next_list(sim))
+        for position in range(1, sim.last_id() + 1):
+            assert twice.actual_at(position) == pytest.approx(
+                sim.actual_at(position + 2)
+            )
+
+    @given(similarity_lists(), similarity_lists())
+    def test_next_distributes_over_and(self, left, right):
+        assert next_list(and_lists(left, right)) == and_lists(
+            next_list(left), next_list(right)
+        )

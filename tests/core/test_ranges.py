@@ -1,0 +1,198 @@
+"""Tests for attribute-variable ranges."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ranges import FULL, Range, flipped, from_comparison, interval
+from repro.errors import HTLTypeError
+
+
+class TestConstruction:
+    def test_full(self):
+        assert FULL.is_full()
+        assert FULL.contains(5)
+        assert FULL.contains("anything")
+
+    def test_interval(self):
+        r = interval(1, 10)
+        assert r.is_interval
+        assert r.contains(1) and r.contains(10)
+        assert not r.contains(0) and not r.contains(11)
+        assert not r.contains("5")
+
+    def test_unbounded_sides(self):
+        assert interval(None, 5).contains(-100)
+        assert interval(5, None).contains(10 ** 9)
+
+    def test_exact(self):
+        r = Range(exact="gun")
+        assert r.contains("gun")
+        assert not r.contains("pistol")
+        assert not r.contains(5)
+
+    def test_complement(self):
+        r = Range(excluded=frozenset({"a", "b"}))
+        assert r.contains("c")
+        assert r.contains(42)
+        assert not r.contains("a")
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(HTLTypeError):
+            interval(5, 4)
+
+    def test_non_int_bound_rejected(self):
+        with pytest.raises(HTLTypeError):
+            interval("a", "b")  # type: ignore[arg-type]
+
+    def test_bool_bound_rejected(self):
+        with pytest.raises(HTLTypeError):
+            interval(True, True)  # type: ignore[arg-type]
+
+
+class TestIntersect:
+    def test_interval_interval(self):
+        assert interval(1, 10).intersect(interval(5, 20)) == interval(5, 10)
+        assert interval(1, 4).intersect(interval(6, 9)) is None
+
+    def test_interval_unbounded(self):
+        assert interval(None, 10).intersect(interval(5, None)) == interval(5, 10)
+
+    def test_exact_in_interval(self):
+        assert interval(1, 10).intersect(Range(exact=5)) == Range(exact=5)
+        assert interval(1, 10).intersect(Range(exact=50)) is None
+
+    def test_exact_exact(self):
+        assert Range(exact="a").intersect(Range(exact="a")) == Range(exact="a")
+        assert Range(exact="a").intersect(Range(exact="b")) is None
+
+    def test_complement_complement(self):
+        left = Range(excluded=frozenset({"a"}))
+        right = Range(excluded=frozenset({"b"}))
+        assert left.intersect(right) == Range(excluded=frozenset({"a", "b"}))
+
+    def test_full_is_identity(self):
+        assert FULL.intersect(interval(1, 5)) == interval(1, 5)
+        assert FULL.intersect(Range(exact="x")) == Range(exact="x")
+
+    def test_mixed_typing_rejected(self):
+        complement = Range(excluded=frozenset({3}))
+        with pytest.raises(HTLTypeError):
+            interval(1, 10).intersect(complement)
+
+    def test_complement_excluding_outside_ints_ok(self):
+        complement = Range(excluded=frozenset({99}))
+        assert interval(1, 10).intersect(complement) == interval(1, 10)
+
+
+class TestDifference:
+    def test_interval_split(self):
+        pieces = interval(1, 10).difference(interval(4, 6))
+        assert pieces == [interval(1, 3), interval(7, 10)]
+
+    def test_interval_disjoint(self):
+        assert interval(1, 3).difference(interval(5, 9)) == [interval(1, 3)]
+
+    def test_interval_swallowed(self):
+        assert interval(4, 6).difference(interval(1, 10)) == []
+
+    def test_interval_minus_exact_point(self):
+        pieces = interval(1, 5).difference(Range(exact=3))
+        assert pieces == [interval(1, 2), interval(4, 5)]
+
+    def test_exact_minus_containing(self):
+        assert Range(exact="a").difference(FULL) == []
+        assert Range(exact="a").difference(Range(exact="b")) == [Range(exact="a")]
+
+    def test_complement_minus_exact(self):
+        base = Range(excluded=frozenset({"a"}))
+        assert base.difference(Range(exact="b")) == [
+            Range(excluded=frozenset({"a", "b"}))
+        ]
+
+    def test_complement_minus_complement(self):
+        left = Range(excluded=frozenset({"a"}))
+        right = Range(excluded=frozenset({"a", "b", "c"}))
+        pieces = left.difference(right)
+        assert sorted(p.exact for p in pieces) == ["b", "c"]
+
+    def test_complement_minus_interval_gives_flanks(self):
+        pieces = FULL.difference(interval(1, 5))
+        assert pieces == [interval(None, 0), interval(6, None)]
+
+    def test_punctured_complement_minus_interval(self):
+        base = Range(excluded=frozenset({8}))
+        pieces = base.difference(interval(1, 5))
+        assert interval(None, 0) in pieces
+        assert not any(piece.contains(8) for piece in pieces)
+        assert any(piece.contains(6) for piece in pieces)
+        assert any(piece.contains(9) for piece in pieces)
+
+
+class TestSample:
+    def test_samples_are_members(self):
+        for r in [
+            interval(3, 9),
+            interval(None, -5),
+            interval(7, None),
+            Range(exact="gun"),
+            Range(excluded=frozenset({"other", "other_1"})),
+            FULL,
+        ]:
+            assert r.contains(r.sample())
+
+
+class TestFromComparison:
+    def test_all_integer_forms(self):
+        assert from_comparison("=", 5) == interval(5, 5)
+        assert from_comparison("<", 5) == interval(None, 4)
+        assert from_comparison("<=", 5) == interval(None, 5)
+        assert from_comparison(">", 5) == interval(6, None)
+        assert from_comparison(">=", 5) == interval(5, None)
+
+    def test_string_equality(self):
+        assert from_comparison("=", "gun") == Range(exact="gun")
+
+    def test_string_ordered_rejected(self):
+        with pytest.raises(HTLTypeError):
+            from_comparison("<", "gun")
+
+    def test_unsupported_op_rejected(self):
+        with pytest.raises(HTLTypeError):
+            from_comparison("!=", 5)
+
+    def test_flipped(self):
+        assert flipped("<") == ">"
+        assert flipped(">=") == "<="
+        assert flipped("=") == "="
+
+
+@st.composite
+def int_ranges(draw):
+    low = draw(st.one_of(st.none(), st.integers(-20, 20)))
+    high = draw(st.one_of(st.none(), st.integers(-20, 20)))
+    if low is not None and high is not None and low > high:
+        low, high = high, low
+    return interval(low, high)
+
+
+class TestAlgebraProperties:
+    @given(int_ranges(), int_ranges(), st.integers(-25, 25))
+    def test_intersection_membership(self, left, right, value):
+        shared = left.intersect(right)
+        in_both = left.contains(value) and right.contains(value)
+        if shared is None:
+            assert not in_both
+        else:
+            assert shared.contains(value) == in_both
+
+    @given(int_ranges(), int_ranges(), st.integers(-25, 25))
+    def test_difference_membership(self, left, right, value):
+        pieces = left.difference(right)
+        in_difference = left.contains(value) and not right.contains(value)
+        assert any(piece.contains(value) for piece in pieces) == in_difference
+
+    @given(int_ranges(), int_ranges())
+    def test_difference_pieces_disjoint_from_removed(self, left, right):
+        for piece in left.difference(right):
+            assert piece.intersect(right) is None

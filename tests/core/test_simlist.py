@@ -1,0 +1,186 @@
+"""Unit and property tests for similarity values and lists."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.simlist import SimEntry, SimilarityList, SimilarityValue
+from repro.core.intervals import Interval
+from repro.errors import (
+    InvalidSimilarityError,
+    SimilarityListInvariantError,
+)
+
+
+class TestSimilarityValue:
+    def test_fraction(self):
+        value = SimilarityValue(5.0, 20.0)
+        assert value.fraction == pytest.approx(0.25)
+
+    def test_exact_match(self):
+        assert SimilarityValue(7.0, 7.0).is_exact()
+        assert not SimilarityValue(6.9, 7.0).is_exact()
+
+    def test_actual_above_maximum_rejected(self):
+        with pytest.raises(InvalidSimilarityError):
+            SimilarityValue(8.0, 7.0)
+
+    def test_negative_actual_rejected(self):
+        with pytest.raises(InvalidSimilarityError):
+            SimilarityValue(-1.0, 7.0)
+
+    def test_nonpositive_maximum_rejected(self):
+        with pytest.raises(InvalidSimilarityError):
+            SimilarityValue(0.0, 0.0)
+
+
+class TestConstruction:
+    def test_from_entries_sorts(self):
+        sim = SimilarityList.from_entries(
+            [((10, 20), 3.0), ((1, 5), 2.0)], maximum=4.0
+        )
+        assert [entry.begin for entry in sim] == [1, 10]
+
+    def test_from_entries_drops_zero(self):
+        sim = SimilarityList.from_entries(
+            [((1, 5), 0.0), ((7, 9), 2.0)], maximum=4.0
+        )
+        assert len(sim) == 1
+
+    def test_from_entries_coalesces_equal_adjacent(self):
+        sim = SimilarityList.from_entries(
+            [((1, 5), 2.0), ((6, 9), 2.0)], maximum=4.0
+        )
+        assert len(sim) == 1
+        assert sim.entries[0].interval == Interval(1, 9)
+
+    def test_from_entries_keeps_distinct_adjacent(self):
+        sim = SimilarityList.from_entries(
+            [((1, 5), 2.0), ((6, 9), 3.0)], maximum=4.0
+        )
+        assert len(sim) == 2
+
+    def test_overlapping_entries_rejected(self):
+        with pytest.raises(SimilarityListInvariantError):
+            SimilarityList.from_entries(
+                [((1, 5), 2.0), ((5, 9), 3.0)], maximum=4.0
+            )
+
+    def test_actual_above_maximum_rejected(self):
+        with pytest.raises(SimilarityListInvariantError):
+            SimilarityList.from_entries([((1, 5), 9.0)], maximum=4.0)
+
+    def test_raw_requires_normalised(self):
+        with pytest.raises(SimilarityListInvariantError):
+            SimilarityList.from_raw(
+                [
+                    SimEntry(Interval(5, 9), 1.0),
+                    SimEntry(Interval(1, 4), 1.0),
+                ],
+                maximum=2.0,
+            )
+
+    def test_from_segment_values(self):
+        sim = SimilarityList.from_segment_values(
+            {1: 2.0, 2: 2.0, 3: 2.0, 7: 1.0}, maximum=4.0
+        )
+        assert len(sim) == 2
+        assert sim.entries[0].interval == Interval(1, 3)
+
+
+class TestQueries:
+    @pytest.fixture
+    def sim(self):
+        return SimilarityList.from_entries(
+            [((2, 4), 1.5), ((8, 8), 3.0), ((10, 12), 0.5)], maximum=3.0
+        )
+
+    def test_value_at_inside(self, sim):
+        assert sim.actual_at(3) == pytest.approx(1.5)
+
+    def test_value_at_boundary(self, sim):
+        assert sim.actual_at(8) == pytest.approx(3.0)
+
+    def test_value_at_gap_is_zero(self, sim):
+        assert sim.actual_at(5) == 0.0
+        assert sim.actual_at(1) == 0.0
+        assert sim.actual_at(99) == 0.0
+
+    def test_fraction_at(self, sim):
+        assert sim.fraction_at(8) == pytest.approx(1.0)
+
+    def test_support_size(self, sim):
+        assert sim.support_size() == 7
+
+    def test_last_id(self, sim):
+        assert sim.last_id() == 12
+
+    def test_empty_list(self):
+        empty = SimilarityList.empty(5.0)
+        assert not empty
+        assert empty.last_id() == 0
+        assert empty.actual_at(1) == 0.0
+
+    def test_segment_ids(self, sim):
+        assert list(sim.segment_ids()) == [2, 3, 4, 8, 10, 11, 12]
+
+    def test_restricted(self, sim):
+        cut = sim.restricted(3, 10)
+        assert cut.to_segment_values() == {
+            3: pytest.approx(1.5),
+            4: pytest.approx(1.5),
+            8: pytest.approx(3.0),
+            10: pytest.approx(0.5),
+        }
+
+    def test_scaled(self, sim):
+        doubled = sim.scaled(2.0)
+        assert doubled.maximum == pytest.approx(6.0)
+        assert doubled.actual_at(8) == pytest.approx(6.0)
+
+    def test_equality_tolerates_float_noise(self, sim):
+        other = SimilarityList.from_entries(
+            [((2, 4), 1.5 + 1e-12), ((8, 8), 3.0), ((10, 12), 0.5)],
+            maximum=3.0,
+        )
+        assert sim == other
+
+
+@st.composite
+def similarity_lists(draw, max_id=80, maximum=10.0):
+    """Random well-formed similarity lists."""
+    n = draw(st.integers(0, 8))
+    starts = draw(
+        st.lists(
+            st.integers(1, max_id), min_size=n, max_size=n, unique=True
+        )
+    )
+    starts.sort()
+    entries = []
+    previous_end = 0
+    for start in starts:
+        begin = max(start, previous_end + 1)
+        end = begin + draw(st.integers(0, 5))
+        actual = draw(
+            st.floats(0.5, maximum, allow_nan=False, allow_infinity=False)
+        )
+        entries.append(((begin, end), actual))
+        previous_end = end
+    return SimilarityList.from_entries(entries, maximum)
+
+
+class TestRoundTripProperties:
+    @given(similarity_lists())
+    def test_segment_expansion_round_trips(self, sim):
+        rebuilt = SimilarityList.from_segment_values(
+            sim.to_segment_values(), sim.maximum
+        )
+        assert rebuilt == sim
+
+    @given(similarity_lists())
+    def test_value_at_matches_expansion(self, sim):
+        expanded = sim.to_segment_values()
+        for segment_id in range(1, sim.last_id() + 2):
+            assert sim.actual_at(segment_id) == pytest.approx(
+                expanded.get(segment_id, 0.0)
+            )

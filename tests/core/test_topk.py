@@ -1,0 +1,116 @@
+"""Tests for top-k retrieval and ranked presentation."""
+
+import pytest
+
+from repro.core.engine import RetrievalEngine
+from repro.core.simlist import SimilarityList
+from repro.core.topk import (
+    ranked_entries,
+    top_k_across_videos,
+    top_k_segments,
+    top_k_videos,
+)
+from repro.htl import parse
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata, make_object
+
+
+@pytest.fixture
+def sim():
+    return SimilarityList.from_entries(
+        [((1, 3), 2.0), ((5, 5), 6.0), ((8, 9), 4.0)], 8.0
+    )
+
+
+class TestRankedEntries:
+    def test_descending_similarity(self, sim):
+        assert ranked_entries(sim) == [
+            (5, 5, 6.0),
+            (8, 9, 4.0),
+            (1, 3, 2.0),
+        ]
+
+    def test_ties_break_on_begin(self):
+        tied = SimilarityList.from_entries(
+            [((7, 7), 2.0), ((1, 1), 2.0)], 4.0
+        )
+        assert ranked_entries(tied) == [(1, 1, 2.0), (7, 7, 2.0)]
+
+
+class TestTopKSegments:
+    def test_takes_best_first(self, sim):
+        segments = top_k_segments(sim, 3, video="v")
+        assert [(s.segment_id, s.actual) for s in segments] == [
+            (5, 6.0),
+            (8, 4.0),
+            (9, 4.0),
+        ]
+
+    def test_expands_intervals_in_order(self, sim):
+        segments = top_k_segments(sim, 6)
+        assert [s.segment_id for s in segments] == [5, 8, 9, 1, 2, 3]
+
+    def test_k_larger_than_support(self, sim):
+        assert len(top_k_segments(sim, 100)) == sim.support_size()
+
+    def test_k_zero(self, sim):
+        assert top_k_segments(sim, 0) == []
+
+    def test_fraction(self, sim):
+        best = top_k_segments(sim, 1)[0]
+        assert best.fraction == pytest.approx(0.75)
+
+
+def two_video_database():
+    database = VideoDatabase()
+    first = flat_video(
+        "alpha",
+        [
+            SegmentMetadata(objects=[make_object("a", "train")]),
+            SegmentMetadata(),
+        ],
+    )
+    second = flat_video(
+        "beta",
+        [
+            SegmentMetadata(),
+            SegmentMetadata(objects=[make_object("a", "train")]),
+            SegmentMetadata(objects=[make_object("a", "train")]),
+        ],
+    )
+    database.add(first)
+    database.add(second)
+    return database
+
+
+class TestAcrossVideos:
+    def test_global_ranking(self):
+        database = two_video_database()
+        engine = RetrievalEngine()
+        formula = parse("exists x . present(x) and type(x) = 'train'")
+        results = top_k_across_videos(engine, formula, database, k=4)
+        assert [(r.video, r.segment_id) for r in results] == [
+            ("alpha", 1),
+            ("beta", 2),
+            ("beta", 3),
+        ]
+
+    def test_k_limits(self):
+        database = two_video_database()
+        engine = RetrievalEngine()
+        formula = parse("exists x . present(x)")
+        results = top_k_across_videos(engine, formula, database, k=2)
+        assert len(results) == 2
+
+    def test_video_ranking(self):
+        database = two_video_database()
+        engine = RetrievalEngine()
+        # Whole-video browsing: does the video eventually show a train?
+        formula = parse(
+            "at_next_level(eventually "
+            "(exists x . present(x) and type(x) = 'train'))"
+        )
+        ranking = top_k_videos(engine, formula, database, k=2)
+        assert [name for name, __ in ranking] == ["alpha", "beta"]
+        assert ranking[0][1].actual == pytest.approx(2.0)

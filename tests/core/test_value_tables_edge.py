@@ -1,0 +1,156 @@
+"""Edge-case tests for value tables and the freeze join (paper §3.3)."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, RetrievalEngine
+from repro.core.intervals import Interval
+from repro.core.simlist import SimilarityList
+from repro.core.value_tables import build_value_table, restrict_to_intervals
+from repro.htl import ast, parse
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import Fact, SegmentMetadata, make_object
+
+
+class TestValueTableConstruction:
+    def test_multi_variable_function(self):
+        """q with two object variables produces rows per pair."""
+        segments = [
+            SegmentMetadata(
+                objects=[
+                    make_object("a", "t", dist=5),
+                    make_object("b", "t", dist=9),
+                ]
+            ),
+        ]
+        func = ast.AttrFunc("dist", (ast.ObjectVar("x"),))
+        table = build_value_table(func, segments)
+        values = {(row.objects, row.value) for row in table.rows}
+        assert (("a",), 5) in values
+        assert (("b",), 9) in values
+
+    def test_interleaved_values_split_intervals(self):
+        def seg(height):
+            return SegmentMetadata(objects=[make_object("p", "t", h=height)])
+
+        segments = [seg(1), seg(2), seg(1), seg(1)]
+        func = ast.AttrFunc("h", (ast.ObjectVar("x"),))
+        table = build_value_table(func, segments)
+        by_value = {row.value: row.intervals for row in table.rows}
+        assert by_value[1] == (Interval(1, 1), Interval(3, 4))
+        assert by_value[2] == (Interval(2, 2),)
+
+    def test_undefined_everywhere(self):
+        segments = [SegmentMetadata(), SegmentMetadata()]
+        func = ast.AttrFunc("h", (ast.ObjectVar("x"),))
+        table = build_value_table(func, segments)
+        assert len(table) == 0
+
+    def test_string_values(self):
+        segments = [
+            SegmentMetadata(attributes={"mood": "dark"}),
+            SegmentMetadata(attributes={"mood": "light"}),
+        ]
+        func = ast.AttrFunc("mood", ())
+        table = build_value_table(func, segments)
+        assert {row.value for row in table.rows} == {"dark", "light"}
+
+
+class TestRestrictToIntervals:
+    def test_unsorted_interval_input(self):
+        sim = SimilarityList.from_entries([((1, 10), 1.0)], 2.0)
+        cut = restrict_to_intervals(
+            sim, [Interval(8, 9), Interval(2, 3)]
+        )
+        assert sorted(cut.to_segment_values()) == [2, 3, 8, 9]
+
+    def test_empty_intervals(self):
+        sim = SimilarityList.from_entries([((1, 10), 1.0)], 2.0)
+        assert not restrict_to_intervals(sim, [])
+
+    def test_no_overlap(self):
+        sim = SimilarityList.from_entries([((1, 3), 1.0)], 2.0)
+        assert not restrict_to_intervals(sim, [Interval(7, 9)])
+
+
+class TestFreezeEndToEnd:
+    """Freeze behaviours through the whole engine, both join modes."""
+
+    def video(self):
+        def seg(height=None, extra=()):
+            objects = []
+            if height is not None:
+                objects.append(make_object("p", "plane", height=height))
+            objects.extend(extra)
+            return SegmentMetadata(objects=objects)
+
+        return flat_video(
+            "fv",
+            [
+                seg(100),
+                seg(500),
+                seg(None),  # plane absent: capture impossible
+                seg(200),
+                seg(300),
+            ],
+        )
+
+    @pytest.mark.parametrize("mode", ["inner", "outer"])
+    def test_strictly_rising_pattern(self, mode):
+        engine = RetrievalEngine(EngineConfig(join_mode=mode))
+        formula = parse(
+            "exists z . [h := height(z)] "
+            "(present(z) and eventually height(z) > h)"
+        )
+        result = engine.evaluate_video(formula, self.video())
+        # From 1 (100): 500 later -> exact (2/2), both modes.
+        assert result.actual_at(1) == pytest.approx(2.0)
+        # From 4 (200): 300 later -> exact, both modes.
+        assert result.actual_at(4) == pytest.approx(2.0)
+        # From 3: no capture possible, both modes.
+        assert result.actual_at(3) == 0.0
+        # From 5 (300): the comparison fails afterwards, but h=300 is
+        # satisfied at *other* segments (500 > 300 at segment 2), so the
+        # comparison atom has a range row covering the captured value and
+        # the presence score passes through in both modes.
+        assert result.actual_at(5) == pytest.approx(1.0)
+        # From 2 (500): no segment anywhere satisfies height > 500, so no
+        # range row covers the captured value.  Definitional (outer)
+        # semantics keep the presence score; the paper's inner join loses
+        # the evaluation entirely (DESIGN.md §5, decision 3).
+        expected_partial = 1.0 if mode == "outer" else 0.0
+        assert result.actual_at(2) == pytest.approx(expected_partial)
+
+    def test_equality_capture(self):
+        engine = RetrievalEngine()
+        formula = parse(
+            "exists z . [h := height(z)] "
+            "next eventually height(z) = h"
+        )
+        result = engine.evaluate_video(formula, self.video())
+        # No height repeats later, anywhere.
+        assert not result
+
+    def test_nested_freeze(self):
+        """Two captures: a later height strictly between two marks."""
+        engine = RetrievalEngine()
+        formula = parse(
+            "exists z . [lo := height(z)] next [hi := height(z)] "
+            "eventually (height(z) > lo and height(z) < hi)"
+        )
+        result = engine.evaluate_video(formula, self.video())
+        # From 1: lo=100 (seg1), hi=500 (seg2); later heights 200, 300
+        # both in (100, 500) -> both conditions satisfied -> 2 of 2.
+        assert result.actual_at(1) == pytest.approx(2.0)
+        # From 4: lo=200, hi=300; at segment 5 the height 300 satisfies
+        # > lo but not < hi -> partial 1 of 2.
+        assert result.actual_at(4) == pytest.approx(1.0)
+
+
+class TestRestrictCanonical:
+    def test_adjacent_capture_intervals_coalesce(self):
+        """Regression: adjacent capture intervals over one entry must give
+        a canonical (coalesced) list, or == misreports inequality."""
+        base = SimilarityList.from_entries([((1, 10), 5.0)], 8.0)
+        cut = restrict_to_intervals(base, [Interval(2, 3), Interval(4, 6)])
+        assert cut == SimilarityList.from_entries([((2, 6), 5.0)], 8.0)
+        assert len(cut) == 1

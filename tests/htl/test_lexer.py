@@ -1,0 +1,73 @@
+"""Tests for the HTL tokenizer."""
+
+import pytest
+
+from repro.errors import HTLSyntaxError
+from repro.htl.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text) if token.kind != "eof"]
+
+
+class TestBasics:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("and andy until untilx")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident"
+        assert tokens[2].kind == "keyword"
+        assert tokens[3].kind == "ident"
+
+    def test_numbers(self):
+        assert values("42 3.25 -7") == [42, 3.25, -7]
+        assert isinstance(values("42")[0], int)
+        assert isinstance(values("3.25")[0], float)
+
+    def test_string_literal(self):
+        assert values("'John Wayne'") == ["John Wayne"]
+
+    def test_string_quote_escape(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(HTLSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert values("( ) [ ] , . $ @ := = != < <= > >=") == [
+            "(", ")", "[", "]", ",", ".", "$", "@", ":=", "=", "!=",
+            "<", "<=", ">", ">=",
+        ]
+
+    def test_comments_stripped(self):
+        assert values("true -- trailing\n# whole line\nand") == ["true", "and"]
+
+    def test_unknown_character(self):
+        with pytest.raises(HTLSyntaxError) as excinfo:
+            tokenize("a & b")
+        assert excinfo.value.column == 3
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_eof_token_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("x")[-1].kind == "eof"
+
+
+class TestTokenHelpers:
+    def test_is_symbol(self):
+        token = Token("symbol", "(", 1, 1)
+        assert token.is_symbol("(")
+        assert not token.is_symbol(")")
+
+    def test_is_keyword(self):
+        token = Token("keyword", "until", 1, 1)
+        assert token.is_keyword("until")
+        assert not token.is_keyword("and")

@@ -1,0 +1,92 @@
+"""Tests for the named-predicate registry."""
+
+import pytest
+
+from repro.core.engine import RetrievalEngine
+from repro.errors import HTLTypeError
+from repro.htl import ast, parse
+from repro.htl.macros import PredicateRegistry
+from repro.workloads.casablanca import (
+    MAN_WOMAN_QUERY_TEXT,
+    MOVING_TRAIN_QUERY_TEXT,
+    casablanca_video,
+    expected_query1,
+    query1,
+)
+
+
+class TestDefinition:
+    def test_define_from_text(self):
+        registry = PredicateRegistry()
+        formula = registry.define("Train", "exists t . type(t) = 'train'")
+        assert isinstance(formula, ast.Exists)
+        assert "Train" in registry
+        assert registry.lookup("Train") == formula
+
+    def test_temporal_definition_rejected(self):
+        registry = PredicateRegistry()
+        with pytest.raises(HTLTypeError):
+            registry.define("Bad", "eventually true")
+
+    def test_open_definition_rejected(self):
+        registry = PredicateRegistry()
+        with pytest.raises(HTLTypeError):
+            registry.define("Bad", "present(x)")
+
+    def test_recursive_definition_rejected(self):
+        registry = PredicateRegistry()
+        with pytest.raises(HTLTypeError):
+            registry.define("Bad", "atomic('Other')")
+
+    def test_duplicate_rejected(self):
+        registry = PredicateRegistry()
+        registry.define("P", "true")
+        with pytest.raises(HTLTypeError):
+            registry.define("P", "true")
+
+    def test_names_sorted(self):
+        registry = PredicateRegistry()
+        registry.define("Zeta", "true")
+        registry.define("Alpha", "true")
+        assert list(registry.names()) == ["Alpha", "Zeta"]
+
+
+class TestExpansion:
+    def test_expand_replaces_known_names(self):
+        registry = PredicateRegistry()
+        definition = registry.define("P", "kind() = 'a'")
+        expanded = registry.expand(parse("eventually atomic('P')"))
+        assert expanded == ast.Eventually(definition)
+
+    def test_unknown_names_untouched(self):
+        registry = PredicateRegistry()
+        formula = parse("atomic('Q') until atomic('Q')")
+        assert registry.expand(formula) == formula
+
+    def test_expansion_reaches_every_position(self):
+        registry = PredicateRegistry()
+        definition = registry.define("P", "true")
+        formula = parse(
+            "exists x . (atomic('P') until next atomic('P')) "
+            "and at_frame_level(atomic('P') or not atomic('P'))"
+        )
+        expanded = registry.expand(formula)
+        remaining = [
+            node
+            for node in expanded.walk()
+            if isinstance(node, ast.AtomicRef)
+        ]
+        assert remaining == []
+
+
+class TestEndToEnd:
+    def test_casablanca_query1_via_macros(self):
+        """Defining the two §4.1 predicates as metadata queries and
+        expanding Query 1 reproduces Table 4 with no registered lists."""
+        registry = PredicateRegistry()
+        registry.define("Moving-Train", MOVING_TRAIN_QUERY_TEXT)
+        registry.define("Man-Woman", MAN_WOMAN_QUERY_TEXT)
+        expanded = registry.expand(query1())
+        engine = RetrievalEngine()
+        result = engine.evaluate_video(expanded, casablanca_video())
+        assert result == expected_query1()

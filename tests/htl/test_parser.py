@@ -1,0 +1,221 @@
+"""Tests for the HTL parser, including the paper's example formulas."""
+
+import pytest
+
+from repro.errors import HTLSyntaxError
+from repro.htl import ast, parse, parse_term
+
+
+class TestAtoms:
+    def test_true(self):
+        assert parse("true") == ast.Truth()
+
+    def test_present(self):
+        assert parse("present(x)") == ast.Present(ast.ObjectVar("x"))
+
+    def test_segment_attribute_comparison(self):
+        formula = parse("type() = 'western'")
+        assert formula == ast.Compare(
+            "=", ast.AttrFunc("type", ()), ast.Const("western")
+        )
+
+    def test_object_attribute_comparison(self):
+        formula = parse("height(x) > 300")
+        assert formula == ast.Compare(
+            ">",
+            ast.AttrFunc("height", (ast.ObjectVar("x"),)),
+            ast.Const(300),
+        )
+
+    def test_relationship(self):
+        formula = parse("fires_at(x, y)")
+        assert formula == ast.Rel(
+            "fires_at", (ast.ObjectVar("x"), ast.ObjectVar("y"))
+        )
+
+    def test_relationship_with_constant(self):
+        formula = parse("holds(x, 'gun')")
+        assert formula == ast.Rel(
+            "holds", (ast.ObjectVar("x"), ast.Const("gun"))
+        )
+
+    def test_atomic_ref_call_form(self):
+        assert parse("atomic('Moving-Train')") == ast.AtomicRef("Moving-Train")
+
+    def test_atomic_ref_dollar_form(self):
+        assert parse("$P1") == ast.AtomicRef("P1")
+
+    def test_weight(self):
+        formula = parse("weight(2.5, present(x))")
+        assert formula == ast.Weighted(2.5, ast.Present(ast.ObjectVar("x")))
+
+    def test_bare_identifier_alone_is_error(self):
+        with pytest.raises(HTLSyntaxError):
+            parse("x")
+
+
+class TestConnectives:
+    def test_and_left_associative(self):
+        formula = parse("true and true and true")
+        assert formula == ast.And(ast.And(ast.Truth(), ast.Truth()), ast.Truth())
+
+    def test_or_binds_looser_than_and(self):
+        formula = parse("true or true and true")
+        assert formula == ast.Or(ast.Truth(), ast.And(ast.Truth(), ast.Truth()))
+
+    def test_until_right_associative(self):
+        a, b, c = (ast.AtomicRef(name) for name in "abc")
+        assert parse("$a until $b until $c") == ast.Until(a, ast.Until(b, c))
+
+    def test_until_binds_tighter_than_and(self):
+        a, b, c = (ast.AtomicRef(name) for name in "abc")
+        assert parse("$a until $b and $c") == ast.And(ast.Until(a, b), c)
+
+    def test_unary_operators_chain(self):
+        formula = parse("not next eventually true")
+        assert formula == ast.Not(ast.Next(ast.Eventually(ast.Truth())))
+
+    def test_always(self):
+        assert parse("always true") == ast.Always(ast.Truth())
+
+    def test_parentheses(self):
+        a, b, c = (ast.AtomicRef(name) for name in "abc")
+        assert parse("$a and ($b or $c)") == ast.And(a, ast.Or(b, c))
+
+
+class TestBinders:
+    def test_exists_single(self):
+        formula = parse("exists x . present(x)")
+        assert formula == ast.Exists(("x",), ast.Present(ast.ObjectVar("x")))
+
+    def test_exists_multiple(self):
+        formula = parse("exists x, y . present(x) and present(y)")
+        assert isinstance(formula, ast.Exists)
+        assert formula.vars == ("x", "y")
+
+    def test_exists_scope_extends_right(self):
+        formula = parse("exists x . present(x) and true")
+        assert isinstance(formula, ast.Exists)
+        assert isinstance(formula.sub, ast.And)
+
+    def test_freeze(self):
+        formula = parse("[h := height(x)] eventually height(x) > h")
+        assert isinstance(formula, ast.Freeze)
+        assert formula.var == "h"
+        assert formula.func == ast.AttrFunc("height", (ast.ObjectVar("x"),))
+        inner = formula.sub
+        assert isinstance(inner, ast.Eventually)
+        compare = inner.sub
+        assert compare.right == ast.AttrVar("h")
+
+    def test_freeze_requires_attr_func(self):
+        with pytest.raises(HTLSyntaxError):
+            parse("[h := 5] true")
+
+    def test_attr_var_sigil(self):
+        formula = parse("height(x) > @h")
+        assert formula.right == ast.AttrVar("h")
+
+    def test_attr_var_unbound_after_scope(self):
+        # h is an attribute variable inside the freeze, an object variable
+        # (bare unbound identifier) outside it.
+        formula = parse("([h := f(x)] present(h_obj)) and g(h) = 1")
+        compare = formula.right
+        assert compare.left == ast.AttrFunc("g", (ast.ObjectVar("h"),))
+
+
+class TestLevelOperators:
+    def test_at_next_level(self):
+        assert parse("at_next_level(true)") == ast.AtNextLevel(ast.Truth())
+
+    def test_at_level(self):
+        assert parse("at_level(3, true)") == ast.AtLevel(3, ast.Truth())
+
+    def test_named_levels(self):
+        assert parse("at_frame_level(true)") == ast.AtNamedLevel(
+            "frame", ast.Truth()
+        )
+        assert parse("at_scene_level(true)") == ast.AtNamedLevel(
+            "scene", ast.Truth()
+        )
+        assert parse("at_sub_plot_level(true)") == ast.AtNamedLevel(
+            "sub_plot", ast.Truth()
+        )
+
+    def test_at_level_requires_integer(self):
+        with pytest.raises(HTLSyntaxError):
+            parse("at_level('scene', true)")
+
+
+class TestErrors:
+    def test_trailing_input(self):
+        with pytest.raises(HTLSyntaxError):
+            parse("true true")
+
+    def test_missing_closing_paren(self):
+        with pytest.raises(HTLSyntaxError):
+            parse("(true")
+
+    def test_empty_input(self):
+        with pytest.raises(HTLSyntaxError):
+            parse("")
+
+    def test_error_carries_position(self):
+        with pytest.raises(HTLSyntaxError) as excinfo:
+            parse("true and\nand")
+        assert excinfo.value.line == 2
+
+
+class TestTerms:
+    def test_parse_term_constants(self):
+        assert parse_term("42") == ast.Const(42)
+        assert parse_term("'hi'") == ast.Const("hi")
+
+    def test_parse_term_nested_function(self):
+        term = parse_term("height(owner(x))")
+        assert term == ast.AttrFunc(
+            "height", (ast.AttrFunc("owner", (ast.ObjectVar("x"),)),)
+        )
+
+
+class TestPaperExamples:
+    """The formulas (A), (B), (C) of paper §2.4 parse into the right shape."""
+
+    def test_formula_a(self):
+        formula = parse("$M1 and next ($M2 until $M3)")
+        assert formula == ast.And(
+            ast.AtomicRef("M1"),
+            ast.Next(ast.Until(ast.AtomicRef("M2"), ast.AtomicRef("M3"))),
+        )
+
+    def test_formula_b(self):
+        text = """
+        exists x, y .
+          (present(x) and present(y)
+           and name(x) = 'John Wayne' and type(y) = 'bandit'
+           and holds_gun(x) and holds_gun(y))
+          and eventually (present(x) and present(y) and fires_at(x, y)
+            and eventually (present(y) and on_floor(y)))
+        """
+        formula = parse(text)
+        assert isinstance(formula, ast.Exists)
+        assert formula.vars == ("x", "y")
+        assert isinstance(formula.sub, ast.And)
+
+    def test_formula_c(self):
+        text = """
+        exists z . (present(z) and type(z) = 'airplane')
+          and [h := height(z)] eventually (present(z) and height(z) > h)
+        """
+        formula = parse(text)
+        assert isinstance(formula, ast.Exists)
+        body = formula.sub
+        assert isinstance(body, ast.And)
+        assert isinstance(body.right, ast.Freeze)
+
+    def test_western_movie_query(self):
+        formula = parse(
+            "type() = 'western' and at_frame_level(exists x . present(x))"
+        )
+        assert isinstance(formula, ast.And)
+        assert isinstance(formula.right, ast.AtNamedLevel)

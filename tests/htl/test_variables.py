@@ -1,0 +1,102 @@
+"""Tests for free/bound variable analysis."""
+
+from hypothesis import given, settings
+
+from repro.htl import ast, parse
+from repro.htl.variables import (
+    free_attr_vars,
+    free_object_vars,
+    is_closed,
+    term_attr_vars,
+    term_object_vars,
+)
+
+from tests.htl.strategies import formulas
+
+
+class TestTermVariables:
+    def test_object_var(self):
+        assert term_object_vars(ast.ObjectVar("x")) == {"x"}
+        assert term_attr_vars(ast.ObjectVar("x")) == set()
+
+    def test_attr_var(self):
+        assert term_attr_vars(ast.AttrVar("h")) == {"h"}
+        assert term_object_vars(ast.AttrVar("h")) == set()
+
+    def test_nested_function(self):
+        term = ast.AttrFunc(
+            "f", (ast.AttrFunc("g", (ast.ObjectVar("x"),)), ast.AttrVar("h"))
+        )
+        assert term_object_vars(term) == {"x"}
+        assert term_attr_vars(term) == {"h"}
+
+    def test_constant(self):
+        assert term_object_vars(ast.Const(5)) == set()
+
+
+class TestFormulaVariables:
+    def test_present_free(self):
+        assert free_object_vars(parse("present(x)")) == {"x"}
+
+    def test_exists_binds(self):
+        assert free_object_vars(parse("exists x . present(x)")) == frozenset()
+
+    def test_exists_partial_binding(self):
+        formula = parse("exists x . fires_at(x, y)")
+        assert free_object_vars(formula) == {"y"}
+
+    def test_freeze_binds_attr_var(self):
+        formula = parse("[h := height(x)] height(x) > h")
+        assert free_attr_vars(formula) == frozenset()
+        assert free_object_vars(formula) == {"x"}
+
+    def test_free_attr_var(self):
+        formula = parse("height(x) > @h")
+        assert free_attr_vars(formula) == {"h"}
+
+    def test_freeze_function_vars_are_free(self):
+        formula = parse("[h := height(z)] present(x)")
+        assert free_object_vars(formula) == {"x", "z"}
+
+    def test_shadowing_inner_binder(self):
+        formula = parse("exists x . present(x) and exists x . present(x)")
+        assert is_closed(formula)
+
+    def test_relationship_args(self):
+        formula = parse("fires_at(x, 'gun')")
+        assert free_object_vars(formula) == {"x"}
+
+    def test_temporal_operators_transparent(self):
+        formula = parse("eventually next present(x) until present(y)")
+        assert free_object_vars(formula) == {"x", "y"}
+
+    def test_level_operators_transparent(self):
+        formula = parse("at_frame_level(present(x))")
+        assert free_object_vars(formula) == {"x"}
+
+
+class TestClosedness:
+    def test_paper_formulas_closed(self):
+        formula_b = parse(
+            "exists x, y . holds_gun(x) and eventually fires_at(x, y)"
+        )
+        assert is_closed(formula_b)
+        formula_c = parse(
+            "exists z . present(z) and [h := height(z)] "
+            "eventually height(z) > h"
+        )
+        assert is_closed(formula_c)
+
+    @given(formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_quantifying_all_free_vars_closes(self, formula):
+        object_vars = free_object_vars(formula)
+        closed = formula
+        if object_vars:
+            closed = ast.Exists(tuple(sorted(object_vars)), closed)
+        for name in sorted(free_attr_vars(formula)):
+            closed = ast.Freeze(
+                name, ast.AttrFunc("height", ()), closed
+            )
+        assert not free_object_vars(closed)
+        assert not free_attr_vars(closed)

@@ -1,0 +1,98 @@
+"""AtomicRef resolution at nested hierarchy levels.
+
+The database registry keys atomic similarity lists by (predicate, video,
+level); a level modal operator descends to a different level, where the
+same name may resolve to a different list.
+"""
+
+import pytest
+
+from repro.core.engine import RetrievalEngine
+from repro.core.simlist import SimilarityList
+from repro.errors import UnsupportedFormulaError
+from repro.htl import parse
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import Video, VideoNode
+from repro.model.metadata import SegmentMetadata
+
+
+def build():
+    root = VideoNode()
+    for __ in range(2):
+        scene = root.add_child(VideoNode())
+        for __ in range(3):
+            scene.add_child(VideoNode())
+    video = Video(
+        name="v", root=root, level_names={1: "video", 2: "scene", 3: "shot"}
+    )
+    database = VideoDatabase()
+    database.add(video)
+    return video, database
+
+
+class TestPerLevelRegistration:
+    def test_same_name_different_levels(self):
+        video, database = build()
+        scene_list = SimilarityList.from_entries([((1, 1), 1.0)], 2.0)
+        shot_list = SimilarityList.from_entries([((2, 3), 2.0)], 2.0)
+        database.register_atomic("P", "v", scene_list, level=2)
+        database.register_atomic("P", "v", shot_list, level=3)
+        engine = RetrievalEngine()
+
+        at_scenes = engine.evaluate_video(
+            parse("atomic('P')"), video, level=2, database=database
+        )
+        assert at_scenes == scene_list
+
+        # at_shot_level descends: each scene's value is P at its first shot.
+        descended = engine.evaluate_video(
+            parse("at_shot_level(atomic('P'))"),
+            video,
+            level=2,
+            database=database,
+        )
+        # shot_list covers local shots 2-3 of each scene; the first shot
+        # scores 0, so no scene gets a positive value.
+        assert not descended
+
+        # Re-register with coverage on the first shot.
+        shot_list_first = SimilarityList.from_entries([((1, 1), 2.0)], 2.0)
+        video2, database2 = build()
+        database2.register_atomic("P", "v", shot_list_first, level=3)
+        descended2 = engine.evaluate_video(
+            parse("at_shot_level(atomic('P'))"),
+            video2,
+            level=2,
+            database=database2,
+        )
+        assert descended2.to_segment_values() == {
+            1: pytest.approx(2.0),
+            2: pytest.approx(2.0),
+        }
+
+    def test_missing_level_registration_raises(self):
+        video, database = build()
+        database.register_atomic(
+            "P", "v", SimilarityList.from_entries([((1, 1), 1.0)], 2.0), level=2
+        )
+        engine = RetrievalEngine()
+        with pytest.raises(UnsupportedFormulaError):
+            engine.evaluate_video(
+                parse("at_shot_level(atomic('P'))"),
+                video,
+                level=2,
+                database=database,
+            )
+
+    def test_atomic_lists_param_applies_to_all_levels(self):
+        video, database = build()
+        lists = {"P": SimilarityList.from_entries([((1, 1), 1.0)], 2.0)}
+        engine = RetrievalEngine()
+        result = engine.evaluate_video(
+            parse("at_shot_level(atomic('P'))"),
+            video,
+            level=2,
+            atomic_lists=lists,
+        )
+        # Every scene's first shot has value 1.
+        assert result.to_segment_values() == {1: 1.0, 2: 1.0}

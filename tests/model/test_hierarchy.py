@@ -1,0 +1,171 @@
+"""Tests for the hierarchical video model."""
+
+import pytest
+
+from repro.errors import HierarchyError, ModelError, UnknownLevelError
+from repro.model.database import VideoDatabase
+from repro.core.simlist import SimilarityList
+from repro.model.hierarchy import (
+    Video,
+    VideoNode,
+    flat_video,
+    standard_level_names,
+)
+from repro.model.metadata import SegmentMetadata, make_object
+
+
+def three_level_video():
+    """video -> 2 scenes -> (3, 2) shots."""
+    root = VideoNode()
+    scene1 = root.add_child(VideoNode())
+    scene2 = root.add_child(VideoNode())
+    for __ in range(3):
+        scene1.add_child(VideoNode())
+    for __ in range(2):
+        scene2.add_child(VideoNode())
+    return Video(
+        name="demo", root=root, level_names={1: "video", 2: "scene", 3: "shot"}
+    )
+
+
+class TestVideoConstruction:
+    def test_levels_assigned(self):
+        video = three_level_video()
+        assert video.root.level == 1
+        assert video.root.children[0].level == 2
+        assert video.root.children[0].children[0].level == 3
+        assert video.n_levels == 3
+
+    def test_sibling_indices_one_based(self):
+        video = three_level_video()
+        assert [child.index for child in video.root.children] == [1, 2]
+
+    def test_uneven_leaves_rejected(self):
+        root = VideoNode()
+        root.add_child(VideoNode())  # leaf at level 2
+        deep = root.add_child(VideoNode())
+        deep.add_child(VideoNode())  # leaf at level 3
+        with pytest.raises(HierarchyError):
+            Video(name="bad", root=root)
+
+    def test_duplicate_level_names_rejected(self):
+        root = VideoNode()
+        root.add_child(VideoNode())
+        with pytest.raises(HierarchyError):
+            Video(name="bad", root=root, level_names={1: "a", 2: "a"})
+
+    def test_level_name_out_of_range_rejected(self):
+        root = VideoNode()
+        with pytest.raises(UnknownLevelError):
+            Video(name="bad", root=root, level_names={5: "frame"})
+
+
+class TestNavigation:
+    def test_nodes_at_level(self):
+        video = three_level_video()
+        assert len(video.nodes_at_level(1)) == 1
+        assert len(video.nodes_at_level(2)) == 2
+        assert len(video.nodes_at_level(3)) == 5
+
+    def test_nodes_at_level_in_temporal_order(self):
+        video = three_level_video()
+        shots = video.nodes_at_level(3)
+        parents = [shot.parent.index for shot in shots]
+        assert parents == [1, 1, 1, 2, 2]
+
+    def test_descendants_at_own_level_is_self(self):
+        video = three_level_video()
+        scene = video.root.children[0]
+        assert scene.descendants_at_level(2) == [scene]
+
+    def test_descendants_above_own_level_rejected(self):
+        video = three_level_video()
+        scene = video.root.children[0]
+        with pytest.raises(UnknownLevelError):
+            scene.descendants_at_level(1)
+
+    def test_level_out_of_range(self):
+        video = three_level_video()
+        with pytest.raises(UnknownLevelError):
+            video.nodes_at_level(4)
+
+    def test_level_of_name(self):
+        video = three_level_video()
+        assert video.level_of("shot") == 3
+        with pytest.raises(UnknownLevelError):
+            video.level_of("frame")
+
+    def test_object_universe(self):
+        segments = [
+            SegmentMetadata(objects=[make_object("a", "t")]),
+            SegmentMetadata(objects=[make_object("b", "t"), make_object("a", "t")]),
+        ]
+        video = flat_video("v", segments)
+        assert video.object_universe() == ["a", "b"]
+
+
+class TestFlatVideo:
+    def test_two_levels(self):
+        video = flat_video("v", [SegmentMetadata() for __ in range(4)])
+        assert video.n_levels == 2
+        assert len(video.nodes_at_level(2)) == 4
+        assert video.level_of("shot") == 2
+
+    def test_empty_flat_video(self):
+        video = flat_video("v", [])
+        assert video.n_levels == 1
+
+
+class TestStandardLevelNames:
+    def test_five_levels(self):
+        names = standard_level_names(5)
+        assert names == {
+            1: "video",
+            2: "subplot",
+            3: "scene",
+            4: "shot",
+            5: "frame",
+        }
+
+    def test_two_levels(self):
+        assert standard_level_names(2) == {1: "video", 2: "frame"}
+
+    def test_out_of_range(self):
+        with pytest.raises(HierarchyError):
+            standard_level_names(6)
+
+
+class TestDatabase:
+    def test_add_and_get(self):
+        database = VideoDatabase()
+        video = flat_video("v", [SegmentMetadata()])
+        database.add(video)
+        assert database.get("v") is video
+        assert "v" in database
+        assert len(database) == 1
+
+    def test_duplicate_rejected(self):
+        database = VideoDatabase()
+        database.add(flat_video("v", [SegmentMetadata()]))
+        with pytest.raises(ModelError):
+            database.add(flat_video("v", [SegmentMetadata()]))
+
+    def test_missing_video(self):
+        with pytest.raises(ModelError):
+            VideoDatabase().get("ghost")
+
+    def test_atomic_registry(self):
+        database = VideoDatabase()
+        database.add(flat_video("v", [SegmentMetadata()]))
+        sim = SimilarityList.from_entries([((1, 1), 1.0)], 2.0)
+        database.register_atomic("P", "v", sim)
+        assert database.atomic_list("P", "v") == sim
+        assert database.atomic_list("P", "v", level=3) is None
+        assert database.atomic_list("Q", "v") is None
+        assert database.atomic_names() == ["P"]
+
+    def test_atomic_for_unknown_video_rejected(self):
+        database = VideoDatabase()
+        sim = SimilarityList.from_entries([((1, 1), 1.0)], 2.0)
+        with pytest.raises(ModelError):
+            database.register_atomic("P", "ghost", sim)

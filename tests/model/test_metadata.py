@@ -1,0 +1,112 @@
+"""Tests for segment meta-data."""
+
+import pytest
+
+from repro.errors import MetadataError
+from repro.model.metadata import (
+    Fact,
+    ObjectInstance,
+    Relationship,
+    SegmentMetadata,
+    as_fact,
+    make_object,
+)
+
+
+class TestFact:
+    def test_plain_value_coerced(self):
+        fact = as_fact(5)
+        assert fact.value == 5
+        assert fact.confidence == 1.0
+
+    def test_fact_passthrough(self):
+        fact = Fact("x", 0.5)
+        assert as_fact(fact) is fact
+
+    def test_confidence_bounds(self):
+        with pytest.raises(MetadataError):
+            Fact(1, 0.0)
+        with pytest.raises(MetadataError):
+            Fact(1, 1.5)
+
+
+class TestObjectInstance:
+    def test_attribute_lookup(self):
+        plane = make_object("p1", "airplane", height=300)
+        assert plane.attribute("height").value == 300
+
+    def test_type_falls_back_to_object_type(self):
+        plane = make_object("p1", "airplane", confidence=0.8)
+        fact = plane.attribute("type")
+        assert fact.value == "airplane"
+        assert fact.confidence == pytest.approx(0.8)
+
+    def test_explicit_type_attribute_wins(self):
+        odd = ObjectInstance("p1", "airplane", attributes={"type": "jet"})
+        assert odd.attribute("type").value == "jet"
+
+    def test_missing_attribute(self):
+        assert make_object("p1", "airplane").attribute("speed") is None
+
+    def test_confidence_validation(self):
+        with pytest.raises(MetadataError):
+            ObjectInstance("p1", "airplane", confidence=2.0)
+
+    def test_fact_valued_attributes(self):
+        plane = make_object("p1", "airplane", height=Fact(300, 0.7))
+        assert plane.attribute("height").confidence == pytest.approx(0.7)
+
+
+class TestRelationship:
+    def test_needs_args(self):
+        with pytest.raises(MetadataError):
+            Relationship("holds", ())
+
+    def test_confidence_validation(self):
+        with pytest.raises(MetadataError):
+            Relationship("holds", ("a",), confidence=0.0)
+
+
+class TestSegmentMetadata:
+    @pytest.fixture
+    def segment(self):
+        return SegmentMetadata(
+            attributes={"type": "western", "length": Fact(90, 0.9)},
+            objects=[
+                make_object("jw", "person", name="John Wayne"),
+                make_object("b1", "bandit"),
+            ],
+            relationships=[Relationship("fires_at", ("jw", "b1"))],
+        )
+
+    def test_segment_attribute(self, segment):
+        assert segment.segment_attribute("type").value == "western"
+        assert segment.segment_attribute("length").confidence == pytest.approx(0.9)
+        assert segment.segment_attribute("missing") is None
+
+    def test_object_lookup(self, segment):
+        assert segment.has_object("jw")
+        assert not segment.has_object("nobody")
+        assert segment.object("jw").type == "person"
+        assert segment.object("nobody") is None
+
+    def test_object_attribute(self, segment):
+        assert segment.object_attribute("jw", "name").value == "John Wayne"
+        assert segment.object_attribute("jw", "age") is None
+        assert segment.object_attribute("nobody", "name") is None
+
+    def test_duplicate_object_rejected(self, segment):
+        with pytest.raises(MetadataError):
+            segment.add_object(make_object("jw", "person"))
+
+    def test_find_relationship(self, segment):
+        assert segment.find_relationship("fires_at", ("jw", "b1")) is not None
+        assert segment.find_relationship("fires_at", ("b1", "jw")) is None
+        assert segment.find_relationship("holds", ("jw",)) is None
+
+    def test_relationships_named(self, segment):
+        segment.add_relationship(Relationship("fires_at", ("b1", "jw")))
+        assert len(list(segment.relationships_named("fires_at"))) == 2
+
+    def test_object_ids(self, segment):
+        assert sorted(segment.object_ids()) == ["b1", "jw"]

@@ -1,0 +1,123 @@
+"""Round-trip tests for JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.core.engine import RetrievalEngine
+from repro.core.simlist import SimilarityList
+from repro.errors import ModelError
+from repro.htl import parse
+from repro.model.serialize import (
+    database_from_dict,
+    database_to_dict,
+    dump_database,
+    load_database,
+    segment_from_dict,
+    segment_to_dict,
+    simlist_from_dict,
+    simlist_to_dict,
+    video_from_dict,
+    video_to_dict,
+)
+from repro.model.metadata import (
+    Fact,
+    Relationship,
+    SegmentMetadata,
+    make_object,
+)
+from repro.workloads.casablanca import casablanca_database, query1
+from repro.workloads.movies import gulf_war_video, western_video
+
+from tests.core.test_simlist import similarity_lists
+from hypothesis import given, settings
+
+
+class TestSimilarityLists:
+    def test_round_trip(self):
+        sim = SimilarityList.from_entries(
+            [((1, 4), 2.595), ((9, 9), 9.787)], 10.0
+        )
+        assert simlist_from_dict(simlist_to_dict(sim)) == sim
+
+    @given(similarity_lists())
+    @settings(max_examples=60)
+    def test_round_trip_property(self, sim):
+        through_json = json.loads(json.dumps(simlist_to_dict(sim)))
+        assert simlist_from_dict(through_json) == sim
+
+
+class TestSegments:
+    def test_round_trip_with_confidences(self):
+        segment = SegmentMetadata(
+            attributes={"kind": "battle", "length": Fact(90, 0.9)},
+            objects=[
+                make_object("p1", "plane", height=Fact(300, 0.7)),
+                make_object("jw", "person", confidence=0.8),
+            ],
+            relationships=[Relationship("bombs", ("p1", "t1"), 0.6)],
+        )
+        rebuilt = segment_from_dict(segment_to_dict(segment))
+        assert rebuilt.segment_attribute("kind").value == "battle"
+        assert rebuilt.segment_attribute("length").confidence == pytest.approx(0.9)
+        assert rebuilt.object("p1").attribute("height").confidence == (
+            pytest.approx(0.7)
+        )
+        assert rebuilt.object("jw").confidence == pytest.approx(0.8)
+        assert rebuilt.find_relationship(
+            "bombs", ("p1", "t1")
+        ).confidence == pytest.approx(0.6)
+
+    def test_full_confidence_compact_form(self):
+        segment = SegmentMetadata(attributes={"kind": "talk"})
+        document = segment_to_dict(segment)
+        assert document["attributes"]["kind"] == "talk"  # no wrapper dict
+
+
+class TestVideos:
+    @pytest.mark.parametrize("builder", [western_video, gulf_war_video])
+    def test_hierarchy_round_trip(self, builder):
+        video = builder()
+        rebuilt = video_from_dict(video_to_dict(video))
+        assert rebuilt.name == video.name
+        assert rebuilt.level_names == video.level_names
+        assert rebuilt.n_levels == video.n_levels
+        for level in range(1, video.n_levels + 1):
+            assert len(rebuilt.nodes_at_level(level)) == len(
+                video.nodes_at_level(level)
+            )
+        assert rebuilt.object_universe() == video.object_universe()
+
+
+class TestDatabases:
+    def test_casablanca_round_trip_preserves_query_results(self, tmp_path):
+        original = casablanca_database()
+        path = tmp_path / "db.json"
+        dump_database(original, str(path))
+        restored = load_database(str(path))
+
+        engine = RetrievalEngine()
+        formula = query1()
+        before = engine.evaluate_video(
+            formula, original.get("making-of-casablanca"), database=original
+        )
+        after = engine.evaluate_video(
+            formula, restored.get("making-of-casablanca"), database=restored
+        )
+        assert before == after
+
+    def test_atomics_round_trip(self):
+        original = casablanca_database()
+        restored = database_from_dict(database_to_dict(original))
+        assert restored.atomic_names() == original.atomic_names()
+        assert restored.atomic_list(
+            "Moving-Train", "making-of-casablanca"
+        ) == original.atomic_list("Moving-Train", "making-of-casablanca")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ModelError):
+            database_from_dict({"format": 99})
+
+    def test_json_is_plain(self):
+        document = database_to_dict(casablanca_database())
+        json.dumps(document)  # must not raise

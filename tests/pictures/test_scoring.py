@@ -1,0 +1,177 @@
+"""Tests for the atom scorer (picture-retrieval scoring)."""
+
+import pytest
+
+from repro.errors import UnsupportedFormulaError
+from repro.htl import ast, parse
+from repro.model.metadata import (
+    Fact,
+    Relationship,
+    SegmentMetadata,
+    make_object,
+)
+from repro.pictures.scoring import (
+    compare_values,
+    eval_term,
+    max_similarity,
+    score,
+)
+
+
+@pytest.fixture
+def segment():
+    return SegmentMetadata(
+        attributes={"type": "western", "year": 1942},
+        objects=[
+            make_object("jw", "person", name="John Wayne", height=Fact(180, 0.9)),
+            make_object("b1", "bandit", confidence=0.7),
+        ],
+        relationships=[
+            Relationship("fires_at", ("jw", "b1"), confidence=0.8),
+            Relationship("holds", ("jw", "gun")),
+        ],
+    )
+
+
+class TestEvalTerm:
+    def test_constant(self, segment):
+        assert eval_term(ast.Const(5), segment, {}) == (5, 1.0)
+
+    def test_variable(self, segment):
+        assert eval_term(ast.ObjectVar("x"), segment, {"x": "jw"}) == ("jw", 1.0)
+
+    def test_unbound_variable(self, segment):
+        assert eval_term(ast.ObjectVar("x"), segment, {}) is None
+
+    def test_segment_attribute(self, segment):
+        assert eval_term(ast.AttrFunc("type", ()), segment, {}) == (
+            "western",
+            1.0,
+        )
+
+    def test_object_attribute_with_confidence(self, segment):
+        value, confidence = eval_term(
+            ast.AttrFunc("height", (ast.ObjectVar("x"),)), segment, {"x": "jw"}
+        )
+        assert value == 180
+        assert confidence == pytest.approx(0.9)
+
+    def test_object_type_attribute(self, segment):
+        value, confidence = eval_term(
+            ast.AttrFunc("type", (ast.ObjectVar("x"),)), segment, {"x": "b1"}
+        )
+        assert value == "bandit"
+        assert confidence == pytest.approx(0.7)
+
+    def test_missing_object(self, segment):
+        assert (
+            eval_term(
+                ast.AttrFunc("height", (ast.ObjectVar("x"),)),
+                segment,
+                {"x": "nobody"},
+            )
+            is None
+        )
+
+
+class TestCompareValues:
+    def test_equality_across_types(self):
+        assert not compare_values("=", 1, "1")
+        assert compare_values("!=", 1, "1")
+
+    def test_ordered_numbers(self):
+        assert compare_values("<", 1, 2)
+        assert compare_values(">=", 2.5, 2)
+
+    def test_ordered_strings(self):
+        assert compare_values("<", "a", "b")
+
+    def test_ordered_cross_type_unsatisfied(self):
+        assert not compare_values("<", 1, "b")
+        assert not compare_values(">", "b", 1)
+
+
+class TestMaxSimilarity:
+    def test_each_condition_weighs_one(self):
+        formula = parse("present(x) and holds(x, 'gun') and type() = 'western'")
+        assert max_similarity(formula) == pytest.approx(3.0)
+
+    def test_weight_scales(self):
+        formula = parse("weight(2.5, present(x))")
+        assert max_similarity(formula) == pytest.approx(2.5)
+
+    def test_or_takes_best(self):
+        formula = parse(
+            "exists x . (present(x) and present(x)) or present(x)"
+        ).sub
+        assert max_similarity(formula) == pytest.approx(2.0)
+
+    def test_not_keeps_weight(self):
+        formula = parse("exists x . not present(x)").sub
+        assert max_similarity(formula) == pytest.approx(1.0)
+
+    def test_temporal_rejected(self):
+        with pytest.raises(UnsupportedFormulaError):
+            max_similarity(parse("eventually true"))
+
+
+class TestScore:
+    def test_present_uses_object_confidence(self, segment):
+        assert score(
+            parse("present(x)"), segment, {"x": "b1"}
+        ) == pytest.approx(0.7)
+        assert score(parse("present(x)"), segment, {"x": "jw"}) == 1.0
+        assert score(parse("present(x)"), segment, {"x": "ghost"}) == 0.0
+
+    def test_comparison_confidence_product(self, segment):
+        formula = parse("height(x) > 100")
+        assert score(formula, segment, {"x": "jw"}) == pytest.approx(0.9)
+
+    def test_failed_comparison_scores_zero(self, segment):
+        formula = parse("height(x) > 500")
+        assert score(formula, segment, {"x": "jw"}) == 0.0
+
+    def test_relationship_confidence(self, segment):
+        formula = parse("fires_at(x, y)")
+        assert score(
+            formula, segment, {"x": "jw", "y": "b1"}
+        ) == pytest.approx(0.8)
+
+    def test_relationship_with_constant(self, segment):
+        assert score(parse("holds(x, 'gun')"), segment, {"x": "jw"}) == 1.0
+
+    def test_conjunction_sums(self, segment):
+        formula = parse("present(x) and height(x) > 100")
+        assert score(formula, segment, {"x": "jw"}) == pytest.approx(1.9)
+
+    def test_partial_conjunction(self, segment):
+        formula = parse("present(x) and height(x) > 500")
+        assert score(formula, segment, {"x": "jw"}) == pytest.approx(1.0)
+
+    def test_negation_complements(self, segment):
+        formula = parse("exists y . not present(x) and present(y)").sub
+        assert score(
+            formula, segment, {"x": "ghost", "y": "jw"}
+        ) == pytest.approx(2.0)
+        assert score(formula, segment, {"x": "jw", "y": "jw"}) == pytest.approx(1.0)
+
+    def test_exists_maximises(self, segment):
+        formula = parse("exists x . present(x) and name(x) = 'John Wayne'")
+        assert score(formula, segment, {}, ["jw", "b1"]) == pytest.approx(2.0)
+
+    def test_exists_defaults_to_segment_objects(self, segment):
+        formula = parse("exists x . present(x)")
+        assert score(formula, segment, {}) == pytest.approx(1.0)
+
+    def test_truth(self, segment):
+        assert score(ast.Truth(), segment, {}) == 1.0
+
+    def test_segment_attribute_comparison(self, segment):
+        assert score(parse("year() < 1950"), segment, {}) == 1.0
+        assert score(parse("year() > 1950"), segment, {}) == 0.0
+
+    def test_score_never_exceeds_maximum(self, segment):
+        formula = parse(
+            "exists x . present(x) and holds(x, 'gun') and height(x) > 100"
+        )
+        assert score(formula, segment, {}) <= max_similarity(formula)

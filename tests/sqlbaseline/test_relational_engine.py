@@ -1,0 +1,351 @@
+"""Tests for the mini relational engine (SQL subset)."""
+
+import pytest
+
+from repro.errors import (
+    SQLCatalogError,
+    SQLExecutionError,
+    SQLSyntaxError,
+)
+from repro.sqlbaseline.relational.executor import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        """
+        CREATE TABLE people (id INTEGER, name TEXT, age INTEGER, city TEXT);
+        INSERT INTO people VALUES
+          (1, 'ann', 30, 'paris'),
+          (2, 'bob', 25, 'lyon'),
+          (3, 'cat', 35, 'paris'),
+          (4, 'dan', NULL, 'nice');
+        CREATE TABLE pets (owner INTEGER, pet TEXT);
+        INSERT INTO pets VALUES (1, 'dog'), (1, 'cat'), (3, 'fish');
+        """
+    )
+    return database
+
+
+class TestDDL:
+    def test_create_and_insert(self, db):
+        result = db.query("SELECT * FROM people")
+        assert len(result) == 4
+        assert result.columns == ("id", "name", "age", "city")
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SQLCatalogError):
+            db.execute("CREATE TABLE people (x INTEGER)")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS people (x INTEGER)")
+        assert len(db.query("SELECT * FROM people")) == 4
+
+    def test_drop(self, db):
+        db.execute("DROP TABLE pets")
+        with pytest.raises(SQLCatalogError):
+            db.query("SELECT * FROM pets")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS ghost")
+
+    def test_type_checking(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("INSERT INTO people VALUES ('x', 'y', 1, 'z')")
+
+    def test_insert_with_column_list(self, db):
+        db.execute("INSERT INTO people (id, name) VALUES (9, 'eve')")
+        result = db.query("SELECT age FROM people WHERE id = 9")
+        assert result.rows == [(None,)]
+
+    def test_create_index_is_recorded(self, db):
+        db.execute("CREATE INDEX idx_people_id ON people (id)")
+        assert "idx_people_id" in db.catalog.indexes
+
+
+class TestSelectBasics:
+    def test_projection(self, db):
+        result = db.query("SELECT name, age FROM people WHERE id = 2")
+        assert result.rows == [("bob", 25)]
+
+    def test_expressions(self, db):
+        result = db.query("SELECT age + 1, age * 2 FROM people WHERE id = 1")
+        assert result.rows == [(31, 60)]
+
+    def test_aliases(self, db):
+        result = db.query("SELECT name AS who FROM people WHERE id = 1")
+        assert result.columns == ("who",)
+
+    def test_where_filters(self, db):
+        result = db.query("SELECT id FROM people WHERE age > 26")
+        assert sorted(result.column("id")) == [1, 3]
+
+    def test_null_comparison_is_unknown(self, db):
+        """dan's NULL age fails both age > 26 and NOT (age > 26)."""
+        above = db.query("SELECT id FROM people WHERE age > 26")
+        below = db.query("SELECT id FROM people WHERE NOT (age > 26)")
+        assert 4 not in above.column("id")
+        assert 4 not in below.column("id")
+
+    def test_is_null(self, db):
+        result = db.query("SELECT id FROM people WHERE age IS NULL")
+        assert result.column("id") == [4]
+        result = db.query("SELECT id FROM people WHERE age IS NOT NULL")
+        assert sorted(result.column("id")) == [1, 2, 3]
+
+    def test_between(self, db):
+        result = db.query("SELECT id FROM people WHERE age BETWEEN 25 AND 30")
+        assert sorted(result.column("id")) == [1, 2]
+
+    def test_in_list(self, db):
+        result = db.query("SELECT id FROM people WHERE city IN ('paris', 'nice')")
+        assert sorted(result.column("id")) == [1, 3, 4]
+
+    def test_order_by(self, db):
+        result = db.query("SELECT name FROM people ORDER BY age DESC")
+        # NULL age sorts last under DESC (None ranks lowest).
+        assert result.column("name") == ["cat", "ann", "bob", "dan"]
+
+    def test_limit(self, db):
+        result = db.query("SELECT id FROM people ORDER BY id LIMIT 2")
+        assert result.column("id") == [1, 2]
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT city FROM people")
+        assert sorted(result.column("city")) == ["lyon", "nice", "paris"]
+
+    def test_case_when(self, db):
+        result = db.query(
+            "SELECT name, CASE WHEN age >= 30 THEN 'old' ELSE 'young' END "
+            "FROM people WHERE id IN (1, 2) ORDER BY id"
+        )
+        assert result.rows == [("ann", "old"), ("bob", "young")]
+
+    def test_scalar_functions(self, db):
+        result = db.query(
+            "SELECT ABS(-3), COALESCE(NULL, 7), GREATEST(1, 9, 4), "
+            "LEAST(1, 9, 4), UPPER('ab') FROM people WHERE id = 1"
+        )
+        assert result.rows == [(3, 7, 9, 1, "AB")]
+
+    def test_select_without_from(self, db):
+        result = db.query("SELECT 1 + 1")
+        assert result.rows == [(2,)]
+
+
+class TestJoins:
+    def test_equi_join(self, db):
+        result = db.query(
+            "SELECT p.name, q.pet FROM people p, pets q "
+            "WHERE p.id = q.owner ORDER BY p.name, q.pet"
+        )
+        assert result.rows == [
+            ("ann", "cat"),
+            ("ann", "dog"),
+            ("cat", "fish"),
+        ]
+
+    def test_cross_join(self, db):
+        result = db.query("SELECT COUNT(*) FROM people p, pets q")
+        assert result.rows == [(12,)]
+
+    def test_self_join(self, db):
+        result = db.query(
+            "SELECT a.id, b.id FROM people a, people b "
+            "WHERE a.age < b.age ORDER BY a.id, b.id"
+        )
+        assert result.rows == [(1, 3), (2, 1), (2, 3)]
+
+    def test_range_join(self, db):
+        db.execute(
+            """
+            CREATE TABLE ranges (beg INTEGER, fin INTEGER);
+            INSERT INTO ranges VALUES (1, 2), (3, 4);
+            """
+        )
+        result = db.query(
+            "SELECT r.beg, p.id FROM ranges r, people p "
+            "WHERE p.id BETWEEN r.beg AND r.fin ORDER BY r.beg, p.id"
+        )
+        assert result.rows == [(1, 1), (1, 2), (3, 3), (3, 4)]
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.query("SELECT id FROM people a, people b")
+
+
+class TestAggregation:
+    def test_plain_aggregates(self, db):
+        result = db.query(
+            "SELECT COUNT(*), COUNT(age), SUM(age), MIN(age), MAX(age), AVG(age) "
+            "FROM people"
+        )
+        assert result.rows == [(4, 3, 90, 25, 35, 30.0)]
+
+    def test_group_by(self, db):
+        result = db.query(
+            "SELECT city, COUNT(*) AS n FROM people GROUP BY city ORDER BY city"
+        )
+        assert result.rows == [("lyon", 1), ("nice", 1), ("paris", 2)]
+
+    def test_group_by_having(self, db):
+        result = db.query(
+            "SELECT city FROM people GROUP BY city HAVING COUNT(*) > 1"
+        )
+        assert result.column("city") == ["paris"]
+
+    def test_empty_aggregate(self, db):
+        result = db.query("SELECT MAX(age) FROM people WHERE id > 99")
+        assert result.rows == [(None,)]
+
+    def test_count_distinct(self, db):
+        result = db.query("SELECT COUNT(DISTINCT city) FROM people")
+        assert result.rows == [(3,)]
+
+    def test_aggregate_arithmetic(self, db):
+        result = db.query("SELECT MAX(age) - MIN(age) FROM people")
+        assert result.rows == [(10,)]
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT name, COUNT(*) FROM people")
+
+
+class TestSubqueries:
+    def test_uncorrelated_in(self, db):
+        result = db.query(
+            "SELECT name FROM people WHERE id IN (SELECT owner FROM pets) "
+            "ORDER BY name"
+        )
+        assert result.column("name") == ["ann", "cat"]
+
+    def test_not_in(self, db):
+        result = db.query(
+            "SELECT name FROM people WHERE id NOT IN (SELECT owner FROM pets) "
+            "ORDER BY name"
+        )
+        assert result.column("name") == ["bob", "dan"]
+
+    def test_correlated_exists(self, db):
+        result = db.query(
+            "SELECT name FROM people p WHERE EXISTS "
+            "(SELECT * FROM pets q WHERE q.owner = p.id) ORDER BY name"
+        )
+        assert result.column("name") == ["ann", "cat"]
+
+    def test_correlated_not_exists(self, db):
+        result = db.query(
+            "SELECT name FROM people p WHERE NOT EXISTS "
+            "(SELECT * FROM pets q WHERE q.owner = p.id) ORDER BY name"
+        )
+        assert result.column("name") == ["bob", "dan"]
+
+    def test_exists_with_local_filter(self, db):
+        result = db.query(
+            "SELECT name FROM people p WHERE EXISTS "
+            "(SELECT * FROM pets q WHERE q.owner = p.id AND q.pet = 'fish')"
+        )
+        assert result.column("name") == ["cat"]
+
+    def test_scalar_subquery_aggregate_range(self, db):
+        # For each person: max age among people at least as old.
+        result = db.query(
+            "SELECT p.id, (SELECT MAX(q.age) FROM people q WHERE q.age >= p.age) "
+            "FROM people p WHERE p.age IS NOT NULL ORDER BY p.id"
+        )
+        assert result.rows == [(1, 35), (2, 35), (3, 35)]
+
+    def test_scalar_subquery_prefix(self, db):
+        result = db.query(
+            "SELECT p.id, (SELECT MIN(q.age) FROM people q WHERE q.age <= p.age) "
+            "FROM people p WHERE p.age IS NOT NULL ORDER BY p.id"
+        )
+        assert result.rows == [(1, 25), (2, 25), (3, 25)]
+
+    def test_scalar_subquery_equality_group(self, db):
+        result = db.query(
+            "SELECT p.id, (SELECT MAX(q.age) FROM people q WHERE q.city = p.city) "
+            "FROM people p ORDER BY p.id"
+        )
+        assert result.rows == [(1, 35), (2, 25), (3, 35), (4, None)]
+
+    def test_scalar_subquery_empty_group(self, db):
+        result = db.query(
+            "SELECT (SELECT MAX(q.age) FROM people q WHERE q.age >= 99) "
+            "FROM people WHERE id = 1"
+        )
+        assert result.rows == [(None,)]
+
+    def test_generic_correlated_subquery(self, db):
+        # Complex shape (aggregate + two tables) falls back to per-row
+        # execution but still gets the right answer.
+        result = db.query(
+            "SELECT p.id, (SELECT COUNT(*) FROM pets q, people r "
+            " WHERE q.owner = r.id AND r.city = p.city) "
+            "FROM people p ORDER BY p.id"
+        )
+        assert result.rows == [(1, 3), (2, 0), (3, 3), (4, 0)]
+
+
+class TestInsertSelectDeleteUnion:
+    def test_insert_select(self, db):
+        db.execute(
+            """
+            CREATE TABLE adults (id INTEGER, name TEXT);
+            INSERT INTO adults SELECT id, name FROM people WHERE age >= 30;
+            """
+        )
+        result = db.query("SELECT name FROM adults ORDER BY name")
+        assert result.column("name") == ["ann", "cat"]
+
+    def test_delete_where(self, db):
+        db.execute("DELETE FROM pets WHERE pet = 'dog'")
+        assert len(db.query("SELECT * FROM pets")) == 2
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM pets")
+        assert len(db.query("SELECT * FROM pets")) == 0
+
+    def test_union_all(self, db):
+        result = db.query(
+            "SELECT id FROM people WHERE id = 1 "
+            "UNION ALL SELECT id FROM people WHERE id = 1 "
+            "UNION ALL SELECT owner FROM pets WHERE pet = 'fish'"
+        )
+        assert sorted(result.column("id")) == [1, 1, 3]
+
+    def test_union_all_width_mismatch(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT id FROM people UNION ALL SELECT id, name FROM people")
+
+
+class TestStats:
+    def test_stats_accumulate(self, db):
+        db.stats.reset()
+        db.query("SELECT * FROM people WHERE id = 1")
+        assert db.stats.statements == 1
+        assert db.stats.rows_scanned >= 1
+        assert db.stats.rows_output == 1
+
+
+class TestErrors:
+    def test_unknown_table(self, db):
+        with pytest.raises(SQLCatalogError):
+            db.query("SELECT * FROM ghosts")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SQLCatalogError):
+            db.query("SELECT wings FROM people")
+
+    def test_syntax_error_position(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELEC * FROM people")
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT 1 / 0")
+
+    def test_scalar_subquery_multiple_rows(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT (SELECT id FROM people) FROM people WHERE id = 1")

@@ -1,0 +1,189 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlbaseline.relational import sql_ast as ast
+from repro.sqlbaseline.relational.sql_parser import parse_one, parse_sql
+from repro.sqlbaseline.relational.tokens import tokenize_sql
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_sql("select From WHERE")
+        assert [token.value for token in tokens[:3]] == [
+            "SELECT",
+            "FROM",
+            "WHERE",
+        ]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize_sql("myTable")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "myTable"
+
+    def test_numbers(self):
+        tokens = tokenize_sql("42 3.5 1e3 2.5e-2")
+        values = [token.value for token in tokens if token.kind == "number"]
+        assert values == [42, 3.5, 1000.0, 0.025]
+
+    def test_strings_with_escape(self):
+        tokens = tokenize_sql("'o''brien'")
+        assert tokens[0].value == "o'brien"
+
+    def test_comments(self):
+        tokens = tokenize_sql("SELECT -- comment\n1")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["keyword", "number", "eof"]
+
+    def test_two_char_operators(self):
+        tokens = tokenize_sql("<= >= <> != ||")
+        assert [token.value for token in tokens[:-1]] == [
+            "<=",
+            ">=",
+            "<>",
+            "!=",
+            "||",
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("'oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("SELECT ?")
+
+
+class TestStatementParsing:
+    def test_create_table(self):
+        statement = parse_one(
+            "CREATE TABLE t (a INTEGER, b REAL, c TEXT, d VARCHAR)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert [column.type for column in statement.columns] == [
+            "INTEGER",
+            "REAL",
+            "TEXT",
+            "TEXT",
+        ]
+
+    def test_create_index(self):
+        statement = parse_one("CREATE INDEX i ON t (a, b)")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.columns == ("a", "b")
+
+    def test_insert_values_multi_row(self):
+        statement = parse_one("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.InsertValues)
+        assert len(statement.rows) == 2
+
+    def test_insert_select(self):
+        statement = parse_one("INSERT INTO t SELECT a FROM s")
+        assert isinstance(statement, ast.InsertSelect)
+
+    def test_delete(self):
+        statement = parse_one("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, ast.Delete)
+        assert statement.where is not None
+
+    def test_script_with_semicolons(self):
+        statements = parse_sql("SELECT 1; SELECT 2;;")
+        assert len(statements) == 2
+
+    def test_missing_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_one("GRANT ALL")
+
+
+class TestSelectParsing:
+    def test_star_and_qualified_star(self):
+        statement = parse_one("SELECT *, t.* FROM t")
+        assert isinstance(statement.items[0], ast.StarItem)
+        assert statement.items[1].table == "t"
+
+    def test_aliases(self):
+        statement = parse_one("SELECT a AS x, b y FROM t u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.tables[0].alias == "u"
+
+    def test_group_order_limit(self):
+        statement = parse_one(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 "
+            "ORDER BY a DESC LIMIT 5"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].descending
+        assert statement.limit == 5
+
+    def test_union_all(self):
+        statement = parse_one("SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3")
+        assert isinstance(statement, ast.UnionAll)
+        assert len(statement.parts) == 3
+
+    def test_distinct(self):
+        assert parse_one("SELECT DISTINCT a FROM t").distinct
+
+
+class TestExpressionParsing:
+    def where(self, text):
+        return parse_one(f"SELECT 1 FROM t WHERE {text}").where
+
+    def test_precedence_or_and(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "OR"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "AND"
+
+    def test_not_exists(self):
+        expr = self.where("NOT EXISTS (SELECT * FROM s)")
+        assert isinstance(expr, ast.ExistsExpr)
+        assert expr.negated
+
+    def test_not_in(self):
+        expr = self.where("a NOT IN (1, 2)")
+        assert isinstance(expr, ast.InExpr)
+        assert expr.negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = self.where("a NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, ast.Between)
+        assert expr.negated
+
+    def test_is_null_forms(self):
+        assert isinstance(self.where("a IS NULL"), ast.IsNull)
+        negated = self.where("a IS NOT NULL")
+        assert isinstance(negated, ast.IsNull) and negated.negated
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a + b * c = 7")
+        left = expr.left
+        assert isinstance(left, ast.Binary) and left.op == "+"
+        assert isinstance(left.right, ast.Binary) and left.right.op == "*"
+
+    def test_case_when(self):
+        expr = self.where("CASE WHEN a = 1 THEN 2 ELSE 3 END = 2")
+        assert isinstance(expr.left, ast.CaseWhen)
+
+    def test_scalar_subquery(self):
+        expr = self.where("a = (SELECT MAX(b) FROM s)")
+        assert isinstance(expr.right, ast.ScalarSubquery)
+
+    def test_count_star_and_distinct(self):
+        statement = parse_one("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+        first, second = statement.items
+        assert first.expr.star
+        assert second.expr.distinct
+
+    def test_neq_normalised(self):
+        expr = self.where("a <> 1")
+        assert expr.op == "!="
+
+    def test_unary_minus(self):
+        expr = self.where("a = -5")
+        assert isinstance(expr.right, ast.Unary)

@@ -1,0 +1,154 @@
+"""Direct system vs SQL-based system: identical results (paper §4.1).
+
+"Both approaches produced identical final values as well as identical
+intermediate similarity tables."  We check final values on the paper's
+Query 1 and on randomly generated type (1) formulas over random lists.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import RetrievalEngine
+from repro.core.simlist import SimilarityList
+from repro.errors import UnsupportedFormulaError
+from repro.htl import ast, parse
+from repro.sqlbaseline import SQLRetrievalSystem, SQLTranslator
+
+from tests.core.test_simlist import similarity_lists
+
+ATOM_NAMES = ["P1", "P2", "P3"]
+
+
+@st.composite
+def type1_over_atoms(draw):
+    leaf = st.sampled_from(ATOM_NAMES).map(ast.AtomicRef)
+    return draw(
+        st.recursive(
+            leaf,
+            lambda children: st.one_of(
+                st.tuples(children, children).map(lambda p: ast.And(*p)),
+                st.tuples(children, children).map(lambda p: ast.Until(*p)),
+                children.map(ast.Next),
+                children.map(ast.Eventually),
+            ),
+            max_leaves=5,
+        )
+    )
+
+
+def evaluate_both(formula, lists, n_segments):
+    engine = RetrievalEngine()
+    direct = engine.combine_lists(formula, lists)
+    sql = SQLRetrievalSystem()
+    sql.load_segments(n_segments)
+    for name, sim in lists.items():
+        sql.load_atomic(name, sim)
+    return direct, sql.evaluate(formula)
+
+
+class TestPaperQuery1:
+    MT = SimilarityList.from_entries([((9, 9), 9.787)], 10.0)
+    MW = SimilarityList.from_entries(
+        [
+            ((1, 4), 2.595),
+            ((6, 6), 1.26),
+            ((8, 8), 1.26),
+            ((10, 44), 1.26),
+            ((47, 49), 6.26),
+        ],
+        8.0,
+    )
+
+    def test_identical_final_values(self):
+        formula = parse(
+            "atomic('Man-Woman') and eventually atomic('Moving-Train')"
+        )
+        direct, sql = evaluate_both(
+            formula, {"Man-Woman": self.MW, "Moving-Train": self.MT}, 50
+        )
+        assert direct == sql
+
+    def test_identical_intermediate_eventually(self):
+        formula = parse("eventually atomic('Moving-Train')")
+        direct, sql = evaluate_both(
+            formula, {"Moving-Train": self.MT}, 50
+        )
+        assert direct == sql
+        assert direct.to_segment_values() == {
+            i: pytest.approx(9.787) for i in range(1, 10)
+        }
+
+
+class TestRandomEquivalence:
+    @given(
+        type1_over_atoms(),
+        similarity_lists(max_id=40),
+        similarity_lists(max_id=40),
+        similarity_lists(max_id=40),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_direct_equals_sql(self, formula, l1, l2, l3):
+        lists = {"P1": l1, "P2": l2, "P3": l3}
+        direct, sql = evaluate_both(formula, lists, 50)
+        assert direct == sql, f"formula: {formula}"
+
+
+class TestTranslatorErrors:
+    def test_type2_rejected(self):
+        translator = SQLTranslator()
+        formula = parse("exists x . eventually present(x)")
+        with pytest.raises(UnsupportedFormulaError):
+            translator.translate(formula, {}, {})
+
+    def test_unknown_atom_rejected(self):
+        translator = SQLTranslator()
+        with pytest.raises(UnsupportedFormulaError):
+            translator.translate(parse("atomic('ghost')"), {}, {})
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(UnsupportedFormulaError):
+            SQLTranslator(threshold=0.0)
+
+    def test_script_rendering(self):
+        translator = SQLTranslator()
+        translation = translator.translate(
+            parse("eventually atomic('P1')"), {"P1": "sim_p1"}, {"P1": 2.0}
+        )
+        script = translation.script()
+        assert "INSERT INTO" in script
+        assert script.rstrip().endswith(";")
+
+
+class TestSystemLifecycle:
+    def test_reload_atomic_replaces(self):
+        sql = SQLRetrievalSystem()
+        sql.load_segments(10)
+        first = SimilarityList.from_entries([((1, 1), 1.0)], 2.0)
+        second = SimilarityList.from_entries([((5, 5), 2.0)], 2.0)
+        sql.load_atomic("P", first)
+        sql.load_atomic("P", second)
+        result = sql.evaluate(parse("atomic('P')"))
+        assert result == second
+
+    def test_temporaries_dropped(self):
+        sql = SQLRetrievalSystem()
+        sql.load_segments(10)
+        sql.load_atomic("P", SimilarityList.from_entries([((1, 3), 1.0)], 2.0))
+        before = set(sql.database.catalog.table_names())
+        sql.evaluate(parse("eventually atomic('P') and atomic('P')"))
+        after = set(sql.database.catalog.table_names())
+        assert before == after
+
+    def test_atom_name_sanitised(self):
+        sql = SQLRetrievalSystem()
+        sql.load_segments(5)
+        table = sql.load_atomic(
+            "Moving-Train", SimilarityList.from_entries([((1, 1), 1.0)], 2.0)
+        )
+        assert table == "sim_moving_train"
+        assert sql.loaded_atoms() == ["Moving-Train"]

@@ -1,0 +1,145 @@
+"""Type (2) SQL translation vs the direct engine (paper inner-join mode).
+
+The paper's SQL system covered "any conjunctive formula"; our relational
+reconstruction covers type (2) and must return exactly the lists the
+direct engine computes in its default mode.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.engine import RetrievalEngine
+from repro.errors import UnsupportedFormulaError
+from repro.htl import parse
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import Relationship, SegmentMetadata, make_object
+from repro.sqlbaseline.system import Type2SQLSystem
+from repro.sqlbaseline.translate_type2 import Type2SQLTranslator
+
+from tests.integration.strategies import flat_videos, type1_formulas, type2_formulas
+
+ENGINE = RetrievalEngine()  # default = paper inner-join mode
+
+
+def demo_video():
+    video = flat_video(
+        "demo",
+        [
+            SegmentMetadata(
+                objects=[make_object("a", "train"), make_object("b", "person")],
+            ),
+            SegmentMetadata(objects=[make_object("a", "person")]),
+            SegmentMetadata(objects=[make_object("b", "train")]),
+        ],
+    )
+    video.nodes_at_level(2)[0].metadata.add_relationship(
+        Relationship("near", ("a", "b"))
+    )
+    return video
+
+
+class TestHandWorked:
+    def test_conjunction_with_shared_variable(self):
+        formula = parse(
+            "exists x . (present(x) and type(x) = 'train') "
+            "and eventually (present(x) and type(x) = 'person')"
+        )
+        video = demo_video()
+        assert Type2SQLSystem().evaluate_on_video(
+            formula, video
+        ) == ENGINE.evaluate_video(formula, video)
+
+    def test_until_with_two_variables(self):
+        formula = parse(
+            "exists x, y . near(x, y) until (present(x) and present(y))"
+        )
+        video = demo_video()
+        assert Type2SQLSystem().evaluate_on_video(
+            formula, video
+        ) == ENGINE.evaluate_video(formula, video)
+
+    def test_next_inside(self):
+        formula = parse("exists x . present(x) and next present(x)")
+        video = demo_video()
+        assert Type2SQLSystem().evaluate_on_video(
+            formula, video
+        ) == ENGINE.evaluate_video(formula, video)
+
+    def test_type1_formulas_also_covered(self):
+        formula = parse(
+            "(exists x . present(x)) and eventually (exists y . type(y) = 'person')"
+        )
+        video = demo_video()
+        assert Type2SQLSystem().evaluate_on_video(
+            formula, video
+        ) == ENGINE.evaluate_video(formula, video)
+
+
+class TestRandomEquivalence:
+    @given(type2_formulas(), flat_videos(max_segments=5))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_type2_matches_engine(self, formula, video):
+        sql_result = Type2SQLSystem().evaluate_on_video(formula, video)
+        engine_result = ENGINE.evaluate_video(formula, video)
+        assert sql_result == engine_result, f"formula: {formula}"
+
+    @given(type1_formulas(), flat_videos(max_segments=5))
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_type1_matches_engine(self, formula, video):
+        sql_result = Type2SQLSystem().evaluate_on_video(formula, video)
+        engine_result = ENGINE.evaluate_video(formula, video)
+        assert sql_result == engine_result, f"formula: {formula}"
+
+
+class TestScope:
+    def test_conjunctive_with_freeze_rejected(self):
+        translator = Type2SQLTranslator()
+        formula = parse(
+            "exists x . [h := height(x)] eventually height(x) > h"
+        )
+        with pytest.raises(UnsupportedFormulaError):
+            translator.translate(formula, lambda atom: None)
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(UnsupportedFormulaError):
+            Type2SQLTranslator(threshold=0.0)
+
+    def test_temporaries_cleaned(self):
+        system = Type2SQLSystem()
+        video = demo_video()
+        formula = parse("exists x . present(x) and eventually present(x)")
+        system.evaluate_on_video(formula, video)
+        leftovers = [
+            name
+            for name in system.database.catalog.table_names()
+            if name.startswith("q")
+        ]
+        assert leftovers == []
+
+
+class TestRegressionAliasCollisions:
+    """Variable names that collide with internal SQL aliases must work."""
+
+    @pytest.mark.parametrize("name", ["c2", "c3", "c4", "p", "r", "h", "x"])
+    def test_alias_like_variable_names(self, name):
+        video = flat_video(
+            "v",
+            [
+                SegmentMetadata(objects=[make_object("a", "t")]),
+                SegmentMetadata(objects=[make_object("a", "t")]),
+            ],
+        )
+        formula = parse(
+            f"exists {name} . present({name}) until present({name})"
+        )
+        direct = ENGINE.evaluate_video(formula, video)
+        sql = Type2SQLSystem().evaluate_on_video(formula, video)
+        assert sql == direct

@@ -1,0 +1,97 @@
+"""Tests for UPDATE statements and the LIKE operator."""
+
+import pytest
+
+from repro.errors import SQLExecutionError
+from repro.sqlbaseline.relational.executor import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        """
+        CREATE TABLE films (id INTEGER, title TEXT, year INTEGER);
+        INSERT INTO films VALUES
+          (1, 'Casablanca', 1942),
+          (2, 'Rio Bravo', 1959),
+          (3, 'Casino', 1995),
+          (4, NULL, 2000);
+        """
+    )
+    return database
+
+
+class TestUpdate:
+    def test_update_with_where(self, db):
+        db.execute("UPDATE films SET year = 1960 WHERE title = 'Rio Bravo'")
+        assert db.query(
+            "SELECT year FROM films WHERE id = 2"
+        ).rows == [(1960,)]
+        assert db.query(
+            "SELECT year FROM films WHERE id = 1"
+        ).rows == [(1942,)]
+
+    def test_update_all_rows(self, db):
+        db.execute("UPDATE films SET year = year + 1")
+        assert db.query("SELECT SUM(year) FROM films").rows == [
+            (1942 + 1959 + 1995 + 2000 + 4,)
+        ]
+
+    def test_update_multiple_columns(self, db):
+        db.execute(
+            "UPDATE films SET title = 'Unknown', year = 0 WHERE id = 4"
+        )
+        assert db.query("SELECT title, year FROM films WHERE id = 4").rows == [
+            ("Unknown", 0)
+        ]
+
+    def test_self_referencing_assignment(self, db):
+        db.execute("UPDATE films SET year = year * 2 WHERE id = 1")
+        assert db.query("SELECT year FROM films WHERE id = 1").rows == [(3884,)]
+
+    def test_update_type_checked(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.execute("UPDATE films SET year = 'not a year' WHERE id = 1")
+
+    def test_update_invalidates_sorted_cache(self, db):
+        # Prime the sorted cache through a range query, then move a row.
+        db.query("SELECT f.id FROM films f WHERE f.year >= 1990")
+        db.execute("UPDATE films SET year = 1000 WHERE id = 3")
+        result = db.query("SELECT f.id FROM films f WHERE f.year >= 1990")
+        assert sorted(result.column("id")) == [4]
+
+
+class TestLike:
+    def test_prefix_match(self, db):
+        result = db.query(
+            "SELECT id FROM films WHERE title LIKE 'Cas%' ORDER BY id"
+        )
+        assert result.column("id") == [1, 3]
+
+    def test_underscore_single_char(self, db):
+        result = db.query("SELECT id FROM films WHERE title LIKE 'Casin_'")
+        assert result.column("id") == [3]
+
+    def test_not_like(self, db):
+        result = db.query(
+            "SELECT id FROM films WHERE title NOT LIKE 'Cas%' ORDER BY id"
+        )
+        assert result.column("id") == [2]
+
+    def test_null_is_unknown(self, db):
+        like = db.query("SELECT id FROM films WHERE title LIKE '%'")
+        not_like = db.query("SELECT id FROM films WHERE title NOT LIKE '%'")
+        assert 4 not in like.column("id")
+        assert 4 not in not_like.column("id")
+
+    def test_exact_without_wildcards(self, db):
+        result = db.query("SELECT id FROM films WHERE title LIKE 'Casino'")
+        assert result.column("id") == [3]
+
+    def test_regex_metacharacters_are_literal(self, db):
+        db.execute("INSERT INTO films VALUES (5, 'What? (Part 1)', 2001)")
+        result = db.query(
+            "SELECT id FROM films WHERE title LIKE 'What? (Part _)'"
+        )
+        assert result.column("id") == [5]

@@ -1,0 +1,104 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestClassify:
+    def test_type1(self, capsys):
+        code, out, __ = run_cli(capsys, "classify", "$P1 and eventually $P2")
+        assert code == 0
+        assert "TYPE1" in out
+
+    def test_conjunctive(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "classify",
+            "exists x . present(x) and [h := f(x)] eventually g(x) > h",
+        )
+        assert code == 0
+        assert "CONJUNCTIVE" in out
+
+    def test_parse_error_reported(self, capsys):
+        code, __, err = run_cli(capsys, "classify", "and and")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestRun:
+    def test_casablanca_query1(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "run",
+            "--ranked",
+            "atomic('Man-Woman') and eventually atomic('Moving-Train')",
+        )
+        assert code == 0
+        assert "12.382" in out
+        assert out.index("12.382") < out.index("11.047")
+
+    def test_top_k(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "run",
+            "--top",
+            "2",
+            "atomic('Moving-Train')",
+        )
+        assert code == 0
+        assert "Top 2 segments" in out
+        assert "segment 9" in out
+
+    def test_named_level(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "run",
+            "--dataset",
+            "western",
+            "--level",
+            "frame",
+            "exists y . on_floor(y)",
+        )
+        assert code == 0
+        assert "level 4 (frame)" in out
+
+    def test_unknown_atomic_is_clean_error(self, capsys):
+        code, __, err = run_cli(capsys, "run", "atomic('nope')")
+        assert code == 1
+        assert "no similarity list" in err
+
+
+class TestSql:
+    def test_script_shown(self, capsys):
+        code, out, __ = run_cli(capsys, "sql", "$P1 and $P2", "--size", "50")
+        assert code == 0
+        assert "INSERT INTO" in out
+        assert "generated SQL" in out
+
+    def test_execute(self, capsys):
+        code, out, __ = run_cli(
+            capsys, "sql", "eventually $P1", "--size", "40", "--execute"
+        )
+        assert code == 0
+        assert "result:" in out
+
+    def test_unsupported_class_reported(self, capsys):
+        code, __, err = run_cli(capsys, "sql", "exists x . eventually present(x)")
+        assert code == 1
+        assert "type (1)" in err
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        code, out, __ = run_cli(capsys, "datasets")
+        assert code == 0
+        assert "casablanca" in out
+        assert "gulf-war" in out
+        assert "Moving-Train" in out

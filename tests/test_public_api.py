@@ -1,0 +1,71 @@
+"""Public-API surface checks: exports exist, __all__ is honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.htl",
+    "repro.model",
+    "repro.pictures",
+    "repro.core",
+    "repro.sqlbaseline",
+    "repro.sqlbaseline.relational",
+    "repro.analyzer",
+    "repro.workloads",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_top_level_quickstart_surface():
+    import repro
+
+    assert callable(repro.parse)
+    assert callable(repro.pretty)
+    engine = repro.RetrievalEngine()
+    assert engine.config.join_mode == "inner"
+    assert repro.__version__
+
+
+def test_errors_hierarchy():
+    from repro import errors
+
+    leaves = [
+        errors.InvalidIntervalError,
+        errors.InvalidSimilarityError,
+        errors.SimilarityListInvariantError,
+        errors.HTLSyntaxError,
+        errors.HTLTypeError,
+        errors.UnsupportedFormulaError,
+        errors.HierarchyError,
+        errors.UnknownLevelError,
+        errors.MetadataError,
+        errors.SQLSyntaxError,
+        errors.SQLCatalogError,
+        errors.SQLExecutionError,
+        errors.WorkloadError,
+    ]
+    for leaf in leaves:
+        assert issubclass(leaf, errors.ReproError)
+    # Catching the base class is the documented contract.
+    with pytest.raises(errors.ReproError):
+        raise errors.HTLSyntaxError("x", 1, 2)
+
+
+def test_syntax_errors_carry_positions():
+    from repro.errors import HTLSyntaxError, SQLSyntaxError
+
+    error = HTLSyntaxError("bad", line=3, column=7)
+    assert error.line == 3 and error.column == 7
+    assert "line 3" in str(error)
+    sql_error = SQLSyntaxError("bad", line=2, column=5)
+    assert "line 2" in str(sql_error)

@@ -1,0 +1,178 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.casablanca import (
+    MAN_WOMAN_MAX,
+    MOVING_TRAIN_MAX,
+    N_SHOTS,
+    casablanca_database,
+    casablanca_video,
+    expected_eventually_moving_train,
+    expected_query1,
+    man_woman_list,
+    moving_train_list,
+)
+from repro.workloads.movies import (
+    example_database,
+    gulf_war_video,
+    random_movie,
+    western_video,
+)
+from repro.workloads.synthetic import (
+    PAPER_SIZES,
+    perf_workload,
+    random_similarity_list,
+)
+
+
+class TestCasablanca:
+    def test_published_tables(self):
+        assert moving_train_list().to_segment_values() == {
+            9: pytest.approx(9.787)
+        }
+        man_woman = man_woman_list()
+        assert man_woman.actual_at(1) == pytest.approx(2.595)
+        assert man_woman.actual_at(30) == pytest.approx(1.26)
+        assert man_woman.actual_at(48) == pytest.approx(6.26)
+        assert man_woman.actual_at(45) == 0.0
+
+    def test_video_has_fifty_shots(self):
+        video = casablanca_video()
+        assert len(video.nodes_at_level(2)) == N_SHOTS
+        assert video.root.metadata.segment_attribute("title").value == (
+            "The Making of Casablanca"
+        )
+
+    def test_database_registrations(self):
+        database = casablanca_database()
+        assert database.atomic_names() == ["Man-Woman", "Moving-Train"]
+        registered = database.atomic_list(
+            "Moving-Train", "making-of-casablanca"
+        )
+        assert registered == moving_train_list()
+
+    def test_expected_tables_are_consistent(self):
+        """Tables 3-4 must follow from Tables 1-2 under our own algebra."""
+        from repro.core.ops import and_lists, eventually_list
+
+        assert eventually_list(moving_train_list()) == (
+            expected_eventually_moving_train()
+        )
+        assert and_lists(
+            man_woman_list(), eventually_list(moving_train_list())
+        ) == expected_query1()
+
+    def test_metadata_confidences_encode_scores(self):
+        video = casablanca_video()
+        shot9 = video.nodes_at_level(2)[8].metadata
+        relationship = next(shot9.relationships_named("moving_train_scene"))
+        assert relationship.confidence == pytest.approx(
+            9.787 / MOVING_TRAIN_MAX
+        )
+        shot47 = video.nodes_at_level(2)[46].metadata
+        pair = next(shot47.relationships_named("man_woman_pair"))
+        assert pair.confidence == pytest.approx(6.26 / MAN_WOMAN_MAX)
+
+
+class TestSynthetic:
+    def test_deterministic_under_seed(self):
+        first = perf_workload(5_000, seed=7)
+        second = perf_workload(5_000, seed=7)
+        assert first.p1 == second.p1
+        assert first.p2 == second.p2
+
+    def test_different_seeds_differ(self):
+        assert perf_workload(5_000, seed=1).p1 != perf_workload(5_000, seed=2).p1
+
+    def test_density_near_target(self):
+        sim = random_similarity_list(
+            50_000, satisfy_fraction=0.1, rng=random.Random(3)
+        )
+        density = sim.support_size() / 50_000
+        assert 0.05 < density < 0.2
+
+    def test_entries_within_axis(self):
+        sim = random_similarity_list(1_000, rng=random.Random(4))
+        assert sim.last_id() <= 1_000
+
+    def test_paper_sizes(self):
+        assert PAPER_SIZES == (10_000, 50_000, 100_000)
+
+    def test_extra_predicates(self):
+        workload = perf_workload(2_000, extra_predicates=2)
+        assert sorted(workload.lists) == ["P1", "P2", "P3", "P4"]
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            random_similarity_list(-5)
+        with pytest.raises(WorkloadError):
+            random_similarity_list(10, satisfy_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            random_similarity_list(10, mean_run_length=0.5)
+
+    @given(st.integers(100, 3_000), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_lists_always_well_formed(self, size, seed):
+        sim = random_similarity_list(size, rng=random.Random(seed))
+        # Construction through SimilarityList already enforces invariants;
+        # check the axis bound and positive values explicitly.
+        assert sim.last_id() <= size
+        assert all(entry.actual > 0 for entry in sim)
+
+
+class TestMovies:
+    def test_western_structure(self):
+        video = western_video()
+        assert video.n_levels == 4
+        assert video.level_of("frame") == 4
+        assert video.root.metadata.segment_attribute("type").value == "western"
+
+    def test_gulf_war_structure(self):
+        video = gulf_war_video()
+        assert video.n_levels == 5
+        assert [video.level_names[i] for i in range(1, 6)] == [
+            "video",
+            "subplot",
+            "scene",
+            "shot",
+            "frame",
+        ]
+
+    def test_random_movie_deterministic(self):
+        first = random_movie("m", seed=5)
+        second = random_movie("m", seed=5)
+        first_objects = [
+            sorted(node.metadata.object_ids())
+            for node in first.nodes_at_level(4)
+        ]
+        second_objects = [
+            sorted(node.metadata.object_ids())
+            for node in second.nodes_at_level(4)
+        ]
+        assert first_objects == second_objects
+
+    def test_random_movie_dimensions(self):
+        video = random_movie("m", n_scenes=2, shots_per_scene=3,
+                             frames_per_shot=4, seed=1)
+        assert len(video.nodes_at_level(2)) == 2
+        assert len(video.nodes_at_level(3)) == 6
+        assert len(video.nodes_at_level(4)) == 24
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_movie("m", n_scenes=0)
+
+    def test_example_database(self):
+        database = example_database()
+        assert set(database.names()) == {
+            "western",
+            "gulf-war",
+            "prairie-dust",
+            "night-train",
+        }
