@@ -1,0 +1,192 @@
+"""Multi-video top-k fast path: cold vs warm-cache vs parallel+pruned.
+
+Not a paper table — this measures the retrieval fast path added on top of
+the reproduction (ISSUE 1): an :class:`~repro.core.cache.EvaluationCache`
+memoizing subformula tables and whole-query lists, bound-based video
+pruning, and thread-pool fan-out in
+:func:`~repro.core.topk.top_k_across_videos`.  The synthetic corpus is N
+flat videos of M segments with ``P1``/``P2`` similarity lists drawn by
+:mod:`repro.workloads.synthetic` at the paper's ~10% selectivity.
+
+Also measured: the cost of the similarity-list invariant scan
+(:data:`repro.core.simlist.CHECK_INVARIANTS`), which the hot path now
+skips by default.
+
+Emits ``BENCH_multivideo.json`` next to the current working directory so
+CI logs carry machine-readable numbers.  Set ``BENCH_QUICK=1`` for a
+seconds-scale run.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.cache import EvaluationCache
+from repro.core.engine import RetrievalEngine
+from repro.core.simlist import set_invariant_checks
+from repro.core.topk import top_k_across_videos
+from repro.htl import parse
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata
+from repro.workloads.synthetic import random_similarity_list
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+N_VIDEOS = 8 if QUICK else 32
+N_SEGMENTS = 500 if QUICK else 5_000
+K = 25
+PARALLELISM = max(2, min(4, os.cpu_count() or 2))
+FORMULA = parse("$P1 and eventually $P2")
+REPEAT = 3 if QUICK else 5
+
+RESULTS_PATH = Path("BENCH_multivideo.json")
+
+
+def best_of(fn, repeat=REPEAT):
+    best = None
+    value = None
+    for __ in range(repeat):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(1997)
+    database = VideoDatabase()
+    for position in range(N_VIDEOS):
+        video = flat_video(
+            f"vid{position:03d}",
+            [SegmentMetadata() for __ in range(N_SEGMENTS)],
+        )
+        database.add(video)
+        for name in ("P1", "P2"):
+            database.register_atomic(
+                name,
+                video.name,
+                random_similarity_list(N_SEGMENTS, rng=rng),
+            )
+    return database
+
+
+def test_multivideo_topk_fast_path(corpus, report):
+    cold_engine = RetrievalEngine()
+    cold_seconds, baseline = best_of(
+        lambda: top_k_across_videos(
+            cold_engine, FORMULA, corpus, K, parallelism=None, prune=False
+        )
+    )
+
+    cache = EvaluationCache()
+    warm_engine = RetrievalEngine(cache=cache)
+    # Populate the cache, then time repeated-query latency.
+    top_k_across_videos(warm_engine, FORMULA, corpus, K)
+    warm_seconds, warm_result = best_of(
+        lambda: top_k_across_videos(warm_engine, FORMULA, corpus, K)
+    )
+
+    pruned_seconds, pruned_result = best_of(
+        lambda: top_k_across_videos(
+            RetrievalEngine(), FORMULA, corpus, K, parallelism=None, prune=True
+        )
+    )
+
+    parallel_seconds, parallel_result = best_of(
+        lambda: top_k_across_videos(
+            RetrievalEngine(),
+            FORMULA,
+            corpus,
+            K,
+            parallelism=PARALLELISM,
+            prune=True,
+        )
+    )
+
+    # Acceptance: identical rankings, and the warm cache pays off >= 5x.
+    assert warm_result == baseline
+    assert pruned_result == baseline
+    assert parallel_result == baseline
+    speedup = cold_seconds / warm_seconds
+    assert speedup >= 5.0, (
+        f"warm cache only {speedup:.1f}x faster than cold "
+        f"({warm_seconds:.4f}s vs {cold_seconds:.4f}s)"
+    )
+
+    rows = {
+        "Videos": N_VIDEOS,
+        "Segments": N_SEGMENTS,
+        "Cold": f"{cold_seconds:.4f}",
+        "Warm cache": f"{warm_seconds:.4f}",
+        "Warm speedup": f"{speedup:.1f}x",
+        "Pruned": f"{pruned_seconds:.4f}",
+        f"Parallel x{PARALLELISM}+pruned": f"{parallel_seconds:.4f}",
+    }
+    report("Multi-video top-k fast path (seconds)", rows)
+
+    stats = cache.stats()
+    payload = {
+        "n_videos": N_VIDEOS,
+        "n_segments": N_SEGMENTS,
+        "k": K,
+        "parallelism": PARALLELISM,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": speedup,
+        "pruned_seconds": pruned_seconds,
+        "parallel_seconds": parallel_seconds,
+        "cache": {
+            "table_hits": stats.table_hits,
+            "table_misses": stats.table_misses,
+            "list_hits": stats.list_hits,
+            "list_misses": stats.list_misses,
+            "hit_rate": stats.hit_rate,
+        },
+        "rankings_identical": True,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_invariant_check_overhead(report):
+    """The satellite micro-fix: what the O(n) invariant scan used to cost.
+
+    Measured where it bites — the list merges of :mod:`repro.core.ops`,
+    which construct a fresh (previously always re-validated) list per
+    operator application.
+    """
+    from repro.core.ops import and_lists, until_lists
+
+    rng = random.Random(7)
+    size = 20_000 if QUICK else 200_000
+    left = random_similarity_list(size, rng=rng)
+    right = random_similarity_list(size, rng=rng)
+
+    def merge():
+        return until_lists(left, and_lists(left, right).scaled(0.5))
+
+    previous = set_invariant_checks(False)
+    try:
+        unchecked_seconds, unchecked = best_of(merge)
+        set_invariant_checks(True)
+        checked_seconds, checked = best_of(merge)
+    finally:
+        set_invariant_checks(previous)
+
+    assert checked == unchecked
+    report(
+        "Similarity-list invariant-scan overhead (seconds, P1∧P2 then until)",
+        {
+            "Segments": size,
+            "Entries": len(left) + len(right),
+            "Checks off (default)": f"{unchecked_seconds:.5f}",
+            "Checks on (tests)": f"{checked_seconds:.5f}",
+            "Overhead": f"{checked_seconds / unchecked_seconds:.2f}x",
+        },
+    )

@@ -21,6 +21,7 @@ Quickstart::
 
 from repro.core import (
     EngineConfig,
+    EvaluationCache,
     RetrievalEngine,
     SimilarityList,
     SimilarityValue,
@@ -35,6 +36,7 @@ __version__ = "1.0.0"
 __all__ = [
     "RetrievalEngine",
     "EngineConfig",
+    "EvaluationCache",
     "SimilarityList",
     "SimilarityValue",
     "parse",

@@ -1,6 +1,7 @@
 """Core similarity-retrieval machinery: lists, tables, engine, oracles."""
 
-from repro.core.engine import EngineConfig, RetrievalEngine
+from repro.core.cache import CacheStats, EvaluationCache
+from repro.core.engine import EngineConfig, RetrievalEngine, actual_upper_bound
 from repro.core.explain import explain
 from repro.core.optimizer import optimize
 from repro.core.extensions import (
@@ -20,7 +21,12 @@ from repro.core.ops import (
     until_lists,
     until_runs,
 )
-from repro.core.simlist import SimEntry, SimilarityList, SimilarityValue
+from repro.core.simlist import (
+    SimEntry,
+    SimilarityList,
+    SimilarityValue,
+    set_invariant_checks,
+)
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
 from repro.core.topk import (
     RetrievedSegment,
@@ -54,6 +60,10 @@ __all__ = [
     "OUTER",
     "RetrievalEngine",
     "EngineConfig",
+    "EvaluationCache",
+    "CacheStats",
+    "actual_upper_bound",
+    "set_invariant_checks",
     "optimize",
     "explain",
     "RetrievedSegment",

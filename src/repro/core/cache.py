@@ -1,0 +1,174 @@
+"""Memoization for the retrieval engine — the multi-video fast path.
+
+The engine's structural recursion recomputes every subformula's similarity
+table from scratch on each :meth:`~repro.core.engine.RetrievalEngine.
+evaluate_video` call, and a multi-video ``top_k_across_videos`` repeats the
+whole derivation per video per query.  Sistla's follow-up work on sequence
+databases and the lazy neuro-symbolic evaluators make the same observation:
+most of that work is shared, so cache it.
+
+:class:`EvaluationCache` memoizes two things:
+
+* **similarity tables of subformulas** — keyed by the subformula's stable
+  structural key (:func:`repro.htl.ast.structural_key`), the evaluation
+  scope (video, level, and the position path for level-operator descents)
+  and the engine configuration.  Shared subformulas inside one query, and
+  across queries over the same video, evaluate once.
+* **whole-query similarity lists** — keyed by formula, video, level and
+  configuration, so a repeated query over an unchanged database is a pure
+  lookup.
+
+Invalidation is by *generation*: :class:`~repro.model.database.
+VideoDatabase` bumps a counter on every mutation (``add`` /
+``register_atomic``), and the cache drops everything when it observes a new
+generation via :meth:`sync`.  The cache therefore serves one database at a
+time; point a fresh cache at a second database rather than alternating.
+
+The cache is thread-safe — ``top_k_across_videos(parallelism=...)`` shares
+one instance across its worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.simlist import SimilarityList
+from repro.core.tables import SimilarityTable
+
+#: Default capacity bounds (entries, not bytes).  Subformula tables are
+#: small and numerous; whole-query lists are fewer and larger.
+DEFAULT_MAX_TABLES = 4096
+DEFAULT_MAX_LISTS = 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of cache effectiveness counters."""
+
+    table_hits: int
+    table_misses: int
+    list_hits: int
+    list_misses: int
+    invalidations: int
+    table_entries: int
+    list_entries: int
+
+    @property
+    def hits(self) -> int:
+        return self.table_hits + self.list_hits
+
+    @property
+    def misses(self) -> int:
+        return self.table_misses + self.list_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class EvaluationCache:
+    """Bounded, generation-invalidated memo for tables and lists.
+
+    Eviction is FIFO (oldest insertion first) — the access pattern is
+    "one query's subformulas, then the next query's", where recency
+    tracking buys little over insertion order.
+    """
+
+    def __init__(
+        self,
+        max_tables: int = DEFAULT_MAX_TABLES,
+        max_lists: int = DEFAULT_MAX_LISTS,
+    ):
+        self._lock = threading.Lock()
+        self._generation: Optional[int] = None
+        self._tables: Dict[Hashable, SimilarityTable] = {}
+        self._lists: Dict[Hashable, SimilarityList] = {}
+        self.max_tables = max_tables
+        self.max_lists = max_lists
+        self._table_hits = 0
+        self._table_misses = 0
+        self._list_hits = 0
+        self._list_misses = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def sync(self, generation: int) -> None:
+        """Observe the database generation; drop everything on a change."""
+        with self._lock:
+            if self._generation is None:
+                self._generation = generation
+            elif self._generation != generation:
+                self._tables.clear()
+                self._lists.clear()
+                self._invalidations += 1
+                self._generation = generation
+
+    def clear(self) -> None:
+        """Drop all cached entries (counters are kept)."""
+        with self._lock:
+            self._tables.clear()
+            self._lists.clear()
+
+    # ------------------------------------------------------------------
+    # tables (subformula memoization)
+    # ------------------------------------------------------------------
+    def get_table(self, key: Hashable) -> Optional[SimilarityTable]:
+        with self._lock:
+            table = self._tables.get(key)
+            if table is None:
+                self._table_misses += 1
+            else:
+                self._table_hits += 1
+            return table
+
+    def put_table(self, key: Hashable, table: SimilarityTable) -> None:
+        with self._lock:
+            while len(self._tables) >= self.max_tables:
+                self._tables.pop(next(iter(self._tables)))
+            self._tables[key] = table
+
+    # ------------------------------------------------------------------
+    # lists (whole-query memoization)
+    # ------------------------------------------------------------------
+    def get_list(self, key: Hashable) -> Optional[SimilarityList]:
+        with self._lock:
+            sim = self._lists.get(key)
+            if sim is None:
+                self._list_misses += 1
+            else:
+                self._list_hits += 1
+            return sim
+
+    def put_list(self, key: Hashable, sim: SimilarityList) -> None:
+        with self._lock:
+            while len(self._lists) >= self.max_lists:
+                self._lists.pop(next(iter(self._lists)))
+            self._lists[key] = sim
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                table_hits=self._table_hits,
+                table_misses=self._table_misses,
+                list_hits=self._list_hits,
+                list_misses=self._list_misses,
+                invalidations=self._invalidations,
+                table_entries=len(self._tables),
+                list_entries=len(self._lists),
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"EvaluationCache(tables={stats.table_entries}, "
+            f"lists={stats.list_entries}, hits={stats.hits}, "
+            f"misses={stats.misses})"
+        )

@@ -18,9 +18,10 @@ Two evaluation modes (DESIGN.md §2):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.core import extensions, ops
+from repro.core.cache import EvaluationCache
 from repro.core.simlist import SimilarityList, SimilarityValue
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
 from repro.core.value_tables import build_value_table, freeze_join
@@ -64,7 +65,14 @@ class EngineConfig:
 
 @dataclass
 class _SequenceContext:
-    """One proper sequence under evaluation."""
+    """One proper sequence under evaluation.
+
+    ``owner`` is the hierarchy node whose level-``level`` descendants form
+    ``nodes``; when set, the picture-retrieval system is fetched from the
+    node's per-level cache instead of being rebuilt per call.  ``scope`` is
+    the stable identity of this sequence for the evaluation cache (None
+    disables memoization, e.g. for call-specific atomic lists).
+    """
 
     video: Video
     level: int
@@ -72,19 +80,37 @@ class _SequenceContext:
     atomics: Callable[[str, int], Optional[SimilarityList]]
     pictures: Optional[PictureRetrievalSystem] = None
     universe: Tuple[str, ...] = ()
+    owner: Optional[VideoNode] = None
+    scope: Optional[Tuple[Any, ...]] = None
 
     def ensure_pictures(self) -> PictureRetrievalSystem:
         if self.pictures is None:
-            segments = [node.metadata for node in self.nodes]
-            self.pictures = PictureRetrievalSystem(segments)
+            if self.owner is not None:
+                self.pictures = self.owner.pictures_at_level(self.level)
+            else:
+                segments = [node.metadata for node in self.nodes]
+                self.pictures = PictureRetrievalSystem(segments)
         return self.pictures
 
 
 class RetrievalEngine:
-    """Computes similarity lists for extended conjunctive HTL formulas."""
+    """Computes similarity lists for extended conjunctive HTL formulas.
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    Pass an :class:`~repro.core.cache.EvaluationCache` to memoize
+    subformula similarity tables within and across queries and whole-query
+    similarity lists across queries.  Caching applies only to evaluations
+    resolvable from a :class:`~repro.model.database.VideoDatabase` (whose
+    generation counter drives invalidation); calls supplying ad-hoc
+    ``atomic_lists`` bypass the cache entirely.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        cache: Optional[EvaluationCache] = None,
+    ):
         self.config = config or EngineConfig()
+        self.cache = cache
 
     # ------------------------------------------------------------------
     # public API
@@ -107,8 +133,28 @@ class RetrievalEngine:
         for this call; ``database`` resolves the rest via its registry.
         """
         self._validate(formula)
+        cache = self.cache
+        use_cache = (
+            cache is not None and database is not None and atomic_lists is None
+        )
+        key: Optional[Tuple[Any, ...]] = None
+        if use_cache:
+            cache.sync(database.generation)
+            key = (
+                "list",
+                ast.structural_key(formula),
+                video.name,
+                level,
+                self.config,
+            )
+            hit = cache.get_list(key)
+            if hit is not None:
+                return hit
         context = self._context(formula, video, level, database, atomic_lists)
-        return self._table(formula, context).closed_list()
+        result = self._table(formula, context).closed_list()
+        if use_cache and key is not None:
+            cache.put_list(key, result)
+        return result
 
     def evaluate_at_root(
         self,
@@ -192,15 +238,49 @@ class RetrievalEngine:
             return None
 
         nodes = video.nodes_at_level(level)
+        cacheable = (
+            self.cache is not None
+            and database is not None
+            and atomic_lists is None
+        )
         return _SequenceContext(
             video=video,
             level=level,
             nodes=nodes,
             atomics=resolve,
             universe=tuple(exists_pool(video.object_universe())),
+            owner=video.root,
+            scope=(video.name, level) if cacheable else None,
         )
 
     def _table(
+        self, formula: ast.Formula, context: _SequenceContext
+    ) -> SimilarityTable:
+        """Similarity table of a subformula, memoized when a cache is set.
+
+        The memo key is the subformula's structural key plus the sequence
+        scope and the engine configuration, so a subformula shared between
+        two conjuncts (or between two queries over the same video)
+        evaluates once.  Tables are immutable once built — every combining
+        operation constructs fresh tables — so sharing is safe.
+        """
+        cache = self.cache
+        if cache is None or context.scope is None:
+            return self._compute_table(formula, context)
+        key = (
+            "table",
+            ast.structural_key(formula),
+            context.scope,
+            self.config,
+        )
+        cached = cache.get_table(key)
+        if cached is not None:
+            return cached
+        table = self._compute_table(formula, context)
+        cache.put_table(key, table)
+        return table
+
+    def _compute_table(
         self, formula: ast.Formula, context: _SequenceContext
     ) -> SimilarityTable:
         if isinstance(formula, ast.AtomicRef):
@@ -351,6 +431,12 @@ class RetrievalEngine:
                 nodes=descendants,
                 atomics=context.atomics,
                 universe=context.universe,
+                owner=node,
+                scope=(
+                    context.scope + (position, target)
+                    if context.scope is not None
+                    else None
+                ),
             )
             child_table = self._table(formula.sub, child_context)
             maximum = child_table.maximum
@@ -421,6 +507,67 @@ def _structural_maximum(
         return _structural_maximum(formula.sub, context)
     raise UnsupportedFormulaError(
         f"cannot compute a maximum for {type(formula).__name__}"
+    )
+
+
+def actual_upper_bound(
+    formula: ast.Formula,
+    video: Video,
+    level: int = 2,
+    database: Optional[VideoDatabase] = None,
+) -> float:
+    """An admissible upper bound on the actual similarity any segment of
+    ``video`` can reach for ``formula`` asserted at ``level``.
+
+    Structural recursion mirroring the §2.5 combination rules, without
+    evaluating anything: non-temporal atoms are bounded by their structural
+    maximum ``m`` (``a ≤ m`` always), registered atomic predicates by the
+    largest actual value on their similarity list — the cheap per-video
+    evidence that lets ``top_k_across_videos`` skip videos that cannot
+    crack the current k-th score.  Raises
+    :class:`~repro.errors.UnsupportedFormulaError` when no finite bound can
+    be derived (e.g. an unregistered atomic reference); callers should
+    treat that as "cannot prune".
+    """
+    if isinstance(formula, ast.AtomicRef):
+        best = (
+            database.max_atomic_actual(formula.name, video.name, level)
+            if database is not None
+            else None
+        )
+        if best is None:
+            raise UnsupportedFormulaError(
+                f"atomic predicate {formula.name!r} has no similarity list "
+                f"registered for video {video.name!r} at level {level}"
+            )
+        return best
+    if isinstance(formula, ast.And):
+        return actual_upper_bound(
+            formula.left, video, level, database
+        ) + actual_upper_bound(formula.right, video, level, database)
+    if isinstance(formula, ast.Until):
+        return actual_upper_bound(formula.right, video, level, database)
+    if isinstance(formula, ast.Or):
+        return max(
+            actual_upper_bound(formula.left, video, level, database),
+            actual_upper_bound(formula.right, video, level, database),
+        )
+    if is_non_temporal(formula):
+        return max_similarity(formula)
+    if isinstance(
+        formula, (ast.Next, ast.Eventually, ast.Always, ast.Exists, ast.Freeze)
+    ):
+        return actual_upper_bound(formula.sub, video, level, database)
+    if isinstance(formula, ast.AtNextLevel):
+        return actual_upper_bound(formula.sub, video, level + 1, database)
+    if isinstance(formula, ast.AtLevel):
+        return actual_upper_bound(formula.sub, video, formula.level, database)
+    if isinstance(formula, ast.AtNamedLevel):
+        return actual_upper_bound(
+            formula.sub, video, video.level_of(formula.level_name), database
+        )
+    raise UnsupportedFormulaError(
+        f"cannot bound {type(formula).__name__}"
     )
 
 

@@ -30,6 +30,22 @@ from repro.errors import InvalidSimilarityError, SimilarityListInvariantError
 #: Tolerance used when comparing floating-point similarity values.
 SIM_EPS = 1e-9
 
+#: When True, every constructed list runs the full O(n) invariant scan.
+#: Off by default: the merge algorithms of :mod:`repro.core.ops` construct
+#: a list per operator application, and re-validating inputs they produce
+#: by construction dominated profile time on large workloads.  The test
+#: suite switches it on globally (tests/conftest.py), so invariants stay
+#: property-checked where it matters.
+CHECK_INVARIANTS = False
+
+
+def set_invariant_checks(enabled: bool) -> bool:
+    """Toggle list invariant checking; returns the previous setting."""
+    global CHECK_INVARIANTS
+    previous = CHECK_INVARIANTS
+    CHECK_INVARIANTS = bool(enabled)
+    return previous
+
 
 @dataclass(frozen=True)
 class SimilarityValue:
@@ -90,7 +106,8 @@ class SimilarityList:
         self._entries: Tuple[SimEntry, ...] = tuple(entries)
         self._maximum = float(maximum)
         self._begin_keys: Optional[List[int]] = None
-        self._check_invariants()
+        if CHECK_INVARIANTS:
+            self._check_invariants()
 
     # ------------------------------------------------------------------
     # construction
@@ -131,7 +148,8 @@ class SimilarityList:
     def from_raw(
         cls, entries: Sequence[SimEntry], maximum: float
     ) -> "SimilarityList":
-        """Build from already-normalised entries (still invariant-checked)."""
+        """Build from already-normalised entries (invariant-checked only
+        when :data:`CHECK_INVARIANTS` is on)."""
         return cls(entries, maximum)
 
     @classmethod

@@ -3,18 +3,33 @@
 "Under our similarity based retrieval, the k top video segments that have
 the highest similarity values with respect to the user query will be
 retrieved; here, k may be a parameter specified by the user."
+
+Multi-video retrieval is the fast path here: :func:`top_k_across_videos`
+streams interval entries into a bounded size-k heap (never expanding a
+similarity list into per-segment rows), skips videos whose admissible
+upper bound (:func:`repro.core.engine.actual_upper_bound`) cannot crack
+the current k-th score, and optionally fans the per-video evaluations out
+over a thread pool.  All three features preserve the exact ranking of the
+naive serial scan: the k best segments under the total order
+``(-actual, video, segment_id)`` are a canonical set, independent of
+evaluation or merge order, and pruning only ever skips videos whose every
+segment ranks strictly below the current k-th.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.core.engine import RetrievalEngine
-from repro.core.simlist import SimilarityList, SimilarityValue
+from repro.core.engine import RetrievalEngine, actual_upper_bound
+from repro.core.simlist import SIM_EPS, SimilarityList, SimilarityValue
+from repro.errors import UnsupportedFormulaError
 from repro.htl import ast
 from repro.model.database import VideoDatabase
+from repro.model.hierarchy import Video
 
 
 @dataclass(frozen=True)
@@ -62,34 +77,135 @@ def top_k_segments(
     return results
 
 
+class _DescStr:
+    """A string ordered in reverse, so heap tuples can mix ascending actual
+    values with descending tie-break columns."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __lt__(self, other: "_DescStr") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _DescStr) and self.value == other.value
+
+
+#: A heap item: (actual, reversed video name, negated segment id, maximum).
+#: Under the min-heap order, heap[0] is the *worst*-ranked kept segment —
+#: lowest actual, then lexicographically largest video, then largest id —
+#: exactly the one a better candidate should displace.
+_HeapItem = Tuple[float, _DescStr, int, float]
+
+
+def _stream_entries(
+    heap: List[_HeapItem], k: int, sim: SimilarityList, video: str
+) -> None:
+    """Fold one video's similarity list into the bounded global heap.
+
+    Entries stay interval-compressed: at most ``k`` segments per entry are
+    ever materialised (ties within an entry break on ascending id, so its
+    best k segments are its first k), and whole entries are skipped when
+    they cannot beat the current k-th score.
+    """
+    name = _DescStr(video)
+    for entry in sim.entries:
+        if len(heap) == k and entry.actual < heap[0][0]:
+            continue
+        last = min(entry.end, entry.begin + k - 1)
+        for segment_id in range(entry.begin, last + 1):
+            item = (entry.actual, name, -segment_id, sim.maximum)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif heap[0] < item:
+                heapq.heapreplace(heap, item)
+            else:
+                # Later segments of this entry rank strictly worse.
+                break
+
+
+def _drain(heap: List[_HeapItem]) -> List[RetrievedSegment]:
+    """Best-first results from the bounded heap."""
+    return [
+        RetrievedSegment(name.value, -neg_id, actual, maximum)
+        for actual, name, neg_id, maximum in sorted(heap, reverse=True)
+    ]
+
+
+def _video_bound(
+    formula: ast.Formula,
+    video: Video,
+    level: int,
+    database: VideoDatabase,
+) -> Optional[float]:
+    """Admissible per-video upper bound, or None when none is derivable."""
+    try:
+        return actual_upper_bound(formula, video, level, database)
+    except UnsupportedFormulaError:
+        return None
+
+
 def top_k_across_videos(
     engine: RetrievalEngine,
     formula: ast.Formula,
     database: VideoDatabase,
     k: int,
     level: int = 2,
+    *,
+    parallelism: Optional[int] = None,
+    prune: bool = True,
 ) -> List[RetrievedSegment]:
     """Evaluate the query on every video and rank segments globally.
 
     Multiple videos are handled exactly as the paper prescribes — "using
     two numbers one of which gives the video id and the other gives the id
     of the video segment within the video".
+
+    ``prune=True`` skips a video when its admissible upper bound is
+    strictly below the current k-th score; ``parallelism >= 2`` evaluates
+    videos on that many threads.  Both knobs return rankings identical to
+    the serial unpruned scan (see the module docstring for why).
     """
-    candidates: List[Tuple[float, str, int, float]] = []
-    for video in database.videos():
-        sim = engine.evaluate_video(formula, video, level=level, database=database)
-        for entry in sim.entries:
-            for segment_id in entry.interval:
-                candidates.append(
-                    (entry.actual, video.name, segment_id, sim.maximum)
-                )
-    best = heapq.nsmallest(
-        k, candidates, key=lambda item: (-item[0], item[1], item[2])
-    )
-    return [
-        RetrievedSegment(video, segment_id, actual, maximum)
-        for actual, video, segment_id, maximum in best
-    ]
+    if k <= 0:
+        return []
+    heap: List[_HeapItem] = []
+    videos = list(database.videos())
+
+    if parallelism is None or parallelism <= 1:
+        for video in videos:
+            if prune and len(heap) == k:
+                bound = _video_bound(formula, video, level, database)
+                if bound is not None and bound < heap[0][0] - SIM_EPS:
+                    continue
+            sim = engine.evaluate_video(
+                formula, video, level=level, database=database
+            )
+            _stream_entries(heap, k, sim, video.name)
+        return _drain(heap)
+
+    lock = threading.Lock()
+
+    def visit(video: Video) -> None:
+        if prune:
+            with lock:
+                worst = heap[0][0] if len(heap) == k else None
+            if worst is not None:
+                bound = _video_bound(formula, video, level, database)
+                if bound is not None and bound < worst - SIM_EPS:
+                    return
+        sim = engine.evaluate_video(
+            formula, video, level=level, database=database
+        )
+        with lock:
+            _stream_entries(heap, k, sim, video.name)
+
+    with ThreadPoolExecutor(max_workers=parallelism) as pool:
+        # Consume the iterator so worker exceptions propagate.
+        for __ in pool.map(visit, videos):
+            pass
+    return _drain(heap)
 
 
 def top_k_videos(

@@ -28,8 +28,10 @@ round-trip property tests on the parser.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Iterator, Tuple, Union
+from functools import lru_cache
+from typing import Iterator, List, Tuple, Union
 
 from repro.errors import HTLTypeError
 
@@ -362,6 +364,42 @@ class AtNamedLevel(Formula):
 
 LEVEL_OPERATORS = (AtNextLevel, AtLevel, AtNamedLevel)
 TEMPORAL_OPERATORS = (Next, Until, Eventually, Always)
+
+
+# ---------------------------------------------------------------------------
+# structural cache keys
+# ---------------------------------------------------------------------------
+def _key_parts(value: object, out: List[str]) -> None:
+    if isinstance(value, (Term, Formula)):
+        out.append(type(value).__name__)
+        out.append("(")
+        for spec in dataclasses.fields(value):
+            _key_parts(getattr(value, spec.name), out)
+            out.append(",")
+        out.append(")")
+    elif isinstance(value, tuple):
+        out.append("[")
+        for item in value:
+            _key_parts(item, out)
+            out.append(",")
+        out.append("]")
+    else:
+        out.append(repr(value))
+
+
+@lru_cache(maxsize=8192)
+def structural_key(node: Union[Formula, Term]) -> str:
+    """A stable structural cache key for a formula or term.
+
+    Two nodes have equal keys iff they are structurally equal, and the key
+    is a deterministic string (unlike ``hash``, which is salted per process
+    for the string fields), so it can serve as a memoization key that
+    survives serialization.  Keys are memoized per structurally-distinct
+    node, making repeated keying of the same subformula O(1).
+    """
+    parts: List[str] = []
+    _key_parts(node, parts)
+    return "".join(parts)
 
 
 # ---------------------------------------------------------------------------

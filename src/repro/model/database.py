@@ -23,6 +23,14 @@ class VideoDatabase:
         self._videos: Dict[str, Video] = {}
         # (predicate name, video name, level) -> similarity list
         self._atomic: Dict[Tuple[str, str, int], SimilarityList] = {}
+        # Bumped on every mutation; EvaluationCache.sync compares it to
+        # decide when memoized results are stale.
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: changes whenever cached results would be stale."""
+        return self._generation
 
     # -- videos --------------------------------------------------------------
     def add(self, video: Video) -> Video:
@@ -30,6 +38,7 @@ class VideoDatabase:
         if video.name in self._videos:
             raise ModelError(f"video {video.name!r} already in the database")
         self._videos[video.name] = video
+        self._generation += 1
         return video
 
     def get(self, name: str) -> Video:
@@ -70,12 +79,27 @@ class VideoDatabase:
                 f"cannot register atomic {predicate!r}: no video {video!r}"
             )
         self._atomic[(predicate, video, level)] = sim_list
+        self._generation += 1
 
     def atomic_list(
         self, predicate: str, video: str, level: int = 2
     ) -> Optional[SimilarityList]:
         """Look up a registered atomic similarity list (None when absent)."""
         return self._atomic.get((predicate, video, level))
+
+    def max_atomic_actual(
+        self, predicate: str, video: str, level: int = 2
+    ) -> Optional[float]:
+        """Largest actual value on a registered list (None when absent).
+
+        This is the cheap per-video evidence the top-k pruner combines into
+        an admissible upper bound: no evaluation of a formula over the
+        video can push an atomic's contribution above its list maximum.
+        """
+        sim = self._atomic.get((predicate, video, level))
+        if sim is None:
+            return None
+        return max((entry.actual for entry in sim.entries), default=0.0)
 
     def atomic_names(self) -> List[str]:
         """Distinct registered atomic predicate names."""

@@ -15,16 +15,19 @@ numbered from 1, matching the similarity-list convention.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import HierarchyError, UnknownLevelError
 from repro.model.metadata import SegmentMetadata
+
+if TYPE_CHECKING:  # model is a lower layer than pictures
+    from repro.pictures.retrieval import PictureRetrievalSystem
 
 
 class VideoNode:
     """One video segment in the hierarchy tree."""
 
-    __slots__ = ("metadata", "children", "parent", "level", "index")
+    __slots__ = ("metadata", "children", "parent", "level", "index", "_pictures")
 
     def __init__(
         self,
@@ -36,11 +39,48 @@ class VideoNode:
         self.parent: Optional[VideoNode] = None
         self.level: int = 0  # assigned when attached to a Video
         self.index: int = 0  # 1-based position among siblings
+        # level -> PictureRetrievalSystem over the descendants at that
+        # level; built lazily by pictures_at_level and dropped whenever the
+        # subtree grows.  Hanging the system off the node (instead of the
+        # engine's throwaway sequence context) is what lets repeated
+        # queries skip re-building the metadata index and scorer.
+        self._pictures: Optional[Dict[int, object]] = None
 
     def add_child(self, child: "VideoNode") -> "VideoNode":
         """Append a child segment and return it (builder convenience)."""
         self.children.append(child)
+        node: Optional[VideoNode] = self
+        while node is not None:
+            node._pictures = None
+            node = node.parent
         return child
+
+    def pictures_at_level(self, level: int) -> "PictureRetrievalSystem":
+        """The (cached) picture-retrieval system over the proper sequence of
+        descendants at an absolute level.
+
+        The system is a pure function of the descendants' metadata;
+        ``add_child`` invalidates the cache up the ancestor chain.  Mutating
+        a segment's metadata in place does *not* invalidate — rebuild the
+        node (or call ``invalidate_pictures``) after such edits.
+        """
+        if self._pictures is None:
+            self._pictures = {}
+        system = self._pictures.get(level)
+        if system is None:
+            # Imported here: model is a lower layer than pictures.
+            from repro.pictures.retrieval import PictureRetrievalSystem
+
+            system = PictureRetrievalSystem(
+                [node.metadata for node in self.descendants_at_level(level)]
+            )
+            self._pictures[level] = system
+        return system
+
+    def invalidate_pictures(self) -> None:
+        """Drop cached picture systems on this node and all descendants."""
+        for node in self.walk():
+            node._pictures = None
 
     def is_leaf(self) -> bool:
         return not self.children

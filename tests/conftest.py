@@ -1,0 +1,10 @@
+"""Suite-wide test configuration.
+
+Similarity-list invariant checking is off by default on the production
+hot path (see :data:`repro.core.simlist.CHECK_INVARIANTS`); the tests run
+with it on so every list any algorithm constructs is validated.
+"""
+
+from repro.core import simlist
+
+simlist.CHECK_INVARIANTS = True

@@ -1,9 +1,14 @@
 """Tests for top-k retrieval and ranked presentation."""
 
-import pytest
+import heapq
+import random
 
-from repro.core.engine import RetrievalEngine
-from repro.core.simlist import SimilarityList
+import pytest
+from hypothesis import given, settings
+
+from repro.core.cache import EvaluationCache
+from repro.core.engine import RetrievalEngine, actual_upper_bound
+from repro.core.simlist import SIM_EPS, SimilarityList
 from repro.core.topk import (
     ranked_entries,
     top_k_across_videos,
@@ -14,6 +19,9 @@ from repro.htl import parse
 from repro.model.database import VideoDatabase
 from repro.model.hierarchy import flat_video
 from repro.model.metadata import SegmentMetadata, make_object
+from repro.workloads.synthetic import random_similarity_list
+
+from tests.integration.strategies import flat_videos, type1_formulas
 
 
 @pytest.fixture
@@ -114,3 +122,140 @@ class TestAcrossVideos:
         ranking = top_k_videos(engine, formula, database, k=2)
         assert [name for name, __ in ranking] == ["alpha", "beta"]
         assert ranking[0][1].actual == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# the multi-video fast path: streaming heap, pruning, parallel fan-out
+# ---------------------------------------------------------------------------
+def synthetic_corpus(n_videos=8, n_segments=300, seed=23):
+    rng = random.Random(seed)
+    database = VideoDatabase()
+    for position in range(n_videos):
+        video = flat_video(
+            f"vid{position:02d}", [SegmentMetadata() for __ in range(n_segments)]
+        )
+        database.add(video)
+        for name in ("P1", "P2"):
+            database.register_atomic(
+                name, video.name, random_similarity_list(n_segments, rng=rng)
+            )
+    return database
+
+
+def oracle_top_k(engine, formula, database, k, level=2):
+    """The pre-rewrite implementation: full expansion + nsmallest."""
+    candidates = []
+    for video in database.videos():
+        sim = engine.evaluate_video(
+            formula, video, level=level, database=database
+        )
+        for entry in sim.entries:
+            for segment_id in entry.interval:
+                candidates.append(
+                    (entry.actual, video.name, segment_id, sim.maximum)
+                )
+    best = heapq.nsmallest(
+        k, candidates, key=lambda item: (-item[0], item[1], item[2])
+    )
+    return [(video, seg, actual, maximum) for actual, video, seg, maximum in best]
+
+
+CORPUS_FORMULAS = [
+    "$P1 and $P2",
+    "$P1 until $P2",
+    "$P1 and eventually $P2",
+    "next ($P1 and $P2)",
+]
+
+
+class TestFastPathIdentity:
+    @pytest.mark.parametrize("text", CORPUS_FORMULAS)
+    @pytest.mark.parametrize("k", [1, 7, 50, 10_000])
+    def test_matches_expansion_oracle(self, text, k):
+        database = synthetic_corpus()
+        engine = RetrievalEngine()
+        formula = parse(text)
+        expected = oracle_top_k(engine, formula, database, k)
+        got = top_k_across_videos(
+            engine, formula, database, k, parallelism=None, prune=False
+        )
+        assert [
+            (r.video, r.segment_id, r.actual, r.maximum) for r in got
+        ] == expected
+
+    @pytest.mark.parametrize("text", CORPUS_FORMULAS)
+    @pytest.mark.parametrize(
+        "parallelism,prune", [(None, True), (4, False), (4, True)]
+    )
+    def test_pruned_and_parallel_identical_to_serial(
+        self, text, parallelism, prune
+    ):
+        database = synthetic_corpus()
+        formula = parse(text)
+        serial = top_k_across_videos(
+            RetrievalEngine(), formula, database, 12,
+            parallelism=None, prune=False,
+        )
+        fast = top_k_across_videos(
+            RetrievalEngine(cache=EvaluationCache()), formula, database, 12,
+            parallelism=parallelism, prune=prune,
+        )
+        assert fast == serial
+
+    def test_metadata_formula_parallel(self):
+        database = two_video_database()
+        engine = RetrievalEngine()
+        formula = parse("exists x . present(x) and type(x) = 'train'")
+        serial = top_k_across_videos(engine, formula, database, k=4)
+        parallel = top_k_across_videos(
+            engine, formula, database, k=4, parallelism=3
+        )
+        assert parallel == serial
+
+    def test_prune_without_registered_bound_is_safe(self):
+        # Metadata atoms have only structural bounds; unregistered $refs
+        # yield no bound at all — neither may change the answer.
+        database = two_video_database()
+        engine = RetrievalEngine()
+        formula = parse("eventually (exists x . present(x))")
+        assert top_k_across_videos(
+            engine, formula, database, k=2, prune=True
+        ) == top_k_across_videos(engine, formula, database, k=2, prune=False)
+
+    def test_k_zero(self):
+        database = synthetic_corpus(n_videos=2, n_segments=20)
+        assert (
+            top_k_across_videos(
+                RetrievalEngine(), parse("$P1"), database, k=0
+            )
+            == []
+        )
+
+
+class TestUpperBound:
+    def test_registered_atomics_tighten_the_bound(self):
+        database = synthetic_corpus(n_videos=1, n_segments=50)
+        video = database.get("vid00")
+        formula = parse("$P1 and $P2")
+        bound = actual_upper_bound(formula, video, 2, database)
+        best = max(
+            entry.actual
+            for entry in RetrievalEngine().evaluate_video(
+                formula, video, database=database
+            )
+        )
+        assert best <= bound + SIM_EPS
+        # The actual-based bound is tighter than the structural maximum.
+        assert bound < 40.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(video=flat_videos(), formula=type1_formulas())
+    def test_bound_is_admissible_on_random_formulas(self, video, formula):
+        database = VideoDatabase()
+        database.add(video)
+        bound = actual_upper_bound(formula, video, 2, database)
+        sim = RetrievalEngine().evaluate_video(
+            formula, video, database=database
+        )
+        for entry in sim.entries:
+            assert entry.actual <= bound + SIM_EPS
