@@ -1,5 +1,6 @@
-"""Benchmark harness and paper-style reporting."""
+"""Benchmark harness, per-stage timers and paper-style reporting."""
 
+from repro.bench import stages
 from repro.bench.harness import (
     ComparisonRow,
     Measurement,
@@ -24,4 +25,5 @@ __all__ = [
     "format_table",
     "similarity_table_text",
     "perf_table_text",
+    "stages",
 ]

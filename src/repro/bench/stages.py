@@ -1,0 +1,57 @@
+"""Per-stage timing facade for benchmarks and ad-hoc profiling.
+
+Thin re-export of :mod:`repro.core.instrument` (the engine-side
+switchboard) plus a report renderer, so benchmark code can attribute a
+regression to atom scoring vs. list algebra vs. top-k without
+re-profiling:
+
+    from repro.bench import stages
+    stages.enable()
+    ...run queries...
+    print(stages.stage_report_text())
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core.instrument import (
+    ATOM_SCORING,
+    LIST_ALGEBRA,
+    TOP_K,
+    StageTotal,
+    add,
+    disable,
+    enable,
+    is_enabled,
+    reset,
+    stage,
+    totals,
+)
+
+__all__ = [
+    "ATOM_SCORING",
+    "LIST_ALGEBRA",
+    "TOP_K",
+    "StageTotal",
+    "add",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+    "stage",
+    "totals",
+    "stage_report_text",
+]
+
+
+def stage_report_text(title: str = "Per-stage timing") -> str:
+    """The accumulated stage totals as an aligned text table."""
+    snapshot = totals()
+    rows = [
+        (name, f"{total.seconds:.4f}", total.calls)
+        for name, total in sorted(snapshot.items())
+    ]
+    if not rows:
+        rows = [("(no stages recorded)", "-", "-")]
+    table = format_table(("Stage", "Seconds", "Calls"), rows)
+    return f"{title}\n{table}"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.core import extensions, ops
+from repro.core import extensions, instrument, ops
 from repro.core.cache import EvaluationCache
 from repro.core.simlist import SimilarityList, SimilarityValue
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
@@ -47,12 +47,16 @@ class EngineConfig:
     operand of ``until`` must keep (paper §2.5).  ``join_mode`` selects the
     paper's inner join or the definitional outer join.  ``prune_atoms``
     forwards to the picture system's relevant-evaluation pruning.
+    ``naive_atoms`` forces the picture system's naive full-scan path for
+    every atom table (the index-driven path is the default; the flag is
+    the escape hatch and the oracle's configuration, see DESIGN.md §7).
     """
 
     until_threshold: float = ops.DEFAULT_UNTIL_THRESHOLD
     join_mode: str = INNER
     prune_atoms: bool = False
     allow_extensions: bool = False
+    naive_atoms: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.until_threshold <= 1.0:
@@ -290,12 +294,13 @@ class RetrievalEngine:
         if isinstance(formula, ast.And):
             left = self._table(formula.left, context)
             right = self._table(formula.right, context)
-            return left.combine(
-                right,
-                ops.and_lists,
-                mode=self.config.join_mode,
-                universe=context.universe,
-            )
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return left.combine(
+                    right,
+                    ops.and_lists,
+                    mode=self.config.join_mode,
+                    universe=context.universe,
+                )
         if isinstance(formula, ast.Until):
             left = self._table(formula.left, context)
             right = self._table(formula.right, context)
@@ -306,12 +311,13 @@ class RetrievalEngine:
             ) -> SimilarityList:
                 return ops.until_lists(left_list, right_list, threshold)
 
-            return left.combine(
-                right,
-                until_op,
-                mode=self.config.join_mode,
-                universe=context.universe,
-            )
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return left.combine(
+                    right,
+                    until_op,
+                    mode=self.config.join_mode,
+                    universe=context.universe,
+                )
         if isinstance(formula, ast.Or):
             if not self.config.allow_extensions:
                 raise UnsupportedFormulaError(
@@ -322,32 +328,39 @@ class RetrievalEngine:
             right = self._table(formula.right, context)
             # ∨ takes the best disjunct, so an evaluation missing on one
             # side keeps the other side's value: always an outer join.
-            return left.combine(
-                right,
-                extensions.or_lists,
-                mode=OUTER,
-                universe=context.universe,
-            )
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return left.combine(
+                    right,
+                    extensions.or_lists,
+                    mode=OUTER,
+                    universe=context.universe,
+                )
         if isinstance(formula, ast.Next):
-            return self._table(formula.sub, context).map_lists(ops.next_list)
+            table = self._table(formula.sub, context)
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return table.map_lists(ops.next_list)
         if isinstance(formula, ast.Eventually):
-            return self._table(formula.sub, context).map_lists(
-                ops.eventually_list
-            )
+            table = self._table(formula.sub, context)
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return table.map_lists(ops.eventually_list)
         if isinstance(formula, ast.Always):
             axis_end = len(context.nodes)
-            return self._table(formula.sub, context).map_lists(
-                lambda sim: ops.always_list(sim, axis_end)
-            )
+            table = self._table(formula.sub, context)
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return table.map_lists(
+                    lambda sim: ops.always_list(sim, axis_end)
+                )
         if isinstance(formula, ast.Exists):
             table = self._table(formula.sub, context)
             bound = [name for name in formula.vars if name in table.object_vars]
-            return table.project_exists(bound)
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return table.project_exists(bound)
         if isinstance(formula, ast.Freeze):
             body = self._table(formula.sub, context)
             segments = [node.metadata for node in context.nodes]
             value_table = build_value_table(formula.func, segments)
-            return freeze_join(body, formula.var, value_table)
+            with instrument.stage(instrument.LIST_ALGEBRA):
+                return freeze_join(body, formula.var, value_table)
         if isinstance(formula, (ast.AtNextLevel, ast.AtLevel, ast.AtNamedLevel)):
             return self._level_table(formula, context)
         raise UnsupportedFormulaError(
@@ -389,11 +402,13 @@ class RetrievalEngine:
                 f"{type(formula).__name__}"
             )
         pictures = context.ensure_pictures()
-        return pictures.similarity_table(
-            formula,
-            universe=context.universe or None,
-            prune=self.config.prune_atoms,
-        )
+        with instrument.stage(instrument.ATOM_SCORING):
+            return pictures.similarity_table(
+                formula,
+                universe=context.universe or None,
+                prune=self.config.prune_atoms,
+                use_index=not self.config.naive_atoms,
+            )
 
     # -- level modal operators ------------------------------------------------
     def _level_table(

@@ -1,0 +1,101 @@
+"""Per-stage wall-clock counters for the retrieval pipeline.
+
+Evaluation time splits across three stages — scoring atoms in the picture
+layer, combining similarity lists/tables in the engine, and ranking in
+top-k — and perf regressions are much easier to attribute when each stage
+reports its own total.  This module is the low-level switchboard: the
+engine and top-k wrap their hot sections in :func:`stage`, which is a
+near-free no-op until :func:`enable` turns collection on (the benchmark
+harness re-exports a reporting facade as :mod:`repro.bench.stages`).
+
+Lives under :mod:`repro.core` rather than :mod:`repro.bench` so the
+engine can import it without a dependency cycle (``repro.bench`` imports
+the engine).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+#: Canonical stage names used across the engine.
+ATOM_SCORING = "atom-scoring"
+LIST_ALGEBRA = "list-algebra"
+TOP_K = "top-k"
+
+_enabled = False
+_lock = threading.Lock()
+
+
+@dataclass
+class StageTotal:
+    """Accumulated wall-clock seconds and entry count of one stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+
+_totals: Dict[str, StageTotal] = {}
+
+
+def enable(reset: bool = True) -> None:
+    """Start collecting stage timings (optionally clearing old totals)."""
+    global _enabled
+    if reset:
+        globals()["_totals"] = {}
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop collecting; accumulated totals stay readable."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    """Clear all accumulated totals."""
+    globals()["_totals"] = {}
+
+
+def totals() -> Dict[str, StageTotal]:
+    """Snapshot of the per-stage totals (copies, safe to mutate)."""
+    with _lock:
+        return {
+            name: StageTotal(total.seconds, total.calls)
+            for name, total in _totals.items()
+        }
+
+
+def add(name: str, seconds: float, calls: int = 1) -> None:
+    """Credit time to a stage directly (thread-safe)."""
+    with _lock:
+        total = _totals.get(name)
+        if total is None:
+            total = _totals[name] = StageTotal()
+        total.seconds += seconds
+        total.calls += calls
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time the enclosed block against ``name`` when collection is on.
+
+    Nested same-name stages double-count by design — wrap only the
+    outermost hot sections.  When disabled the overhead is one global
+    read.
+    """
+    if not _enabled:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        add(name, time.perf_counter() - started)

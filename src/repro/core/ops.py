@@ -58,14 +58,44 @@ def and_lists(left: SimilarityList, right: SimilarityList) -> SimilarityList:
     return SimilarityList.from_entries(pieces, maximum)
 
 
-def _critical_points(*lists: SimilarityList) -> List[int]:
-    """Sorted distinct positions where any input list may change value."""
-    points = set()
-    for sim_list in lists:
-        for entry in sim_list:
-            points.add(entry.begin)
-            points.add(entry.end + 1)
-    return sorted(points)
+def _critical_points(
+    left: SimilarityList, right: SimilarityList
+) -> List[int]:
+    """Sorted distinct positions where either input list may change value.
+
+    Each list's boundary stream ``begin_1, end_1+1, begin_2, end_2+1, …``
+    is already non-decreasing (entries are sorted with disjoint intervals,
+    so ``begin_{i+1} >= end_i + 1``), so a two-pointer merge with
+    duplicate suppression yields the sorted union in
+    ``O(len(left) + len(right))`` — no set, no sort.
+    """
+    left_stream = _boundary_stream(left)
+    right_stream = _boundary_stream(right)
+    points: List[int] = []
+    i = 0
+    j = 0
+    left_len = len(left_stream)
+    right_len = len(right_stream)
+    while i < left_len or j < right_len:
+        if j >= right_len or (i < left_len and left_stream[i] <= right_stream[j]):
+            value = left_stream[i]
+            i += 1
+        else:
+            value = right_stream[j]
+            j += 1
+        if not points or points[-1] != value:
+            points.append(value)
+    return points
+
+
+def _boundary_stream(sim_list: SimilarityList) -> List[int]:
+    """The non-decreasing ``begin, end+1`` stream of one list's entries."""
+    stream: List[int] = []
+    for entry in sim_list:
+        if not stream or stream[-1] != entry.begin:
+            stream.append(entry.begin)
+        stream.append(entry.end + 1)
+    return stream
 
 
 def _constant_value_at(

@@ -158,6 +158,48 @@ class SimilarityList:
         return cls((), maximum)
 
     @classmethod
+    def from_sorted_pieces(
+        cls,
+        pieces: Iterable[Tuple[int, int, float]],
+        maximum: float,
+    ) -> "SimilarityList":
+        """Build from ``(begin, end, actual)`` runs already in begin order.
+
+        The index-driven atom evaluator emits baseline runs over posting
+        gaps interleaved with per-segment scores, in ascending id order;
+        this constructor normalises (drops ≤ 0 runs, coalesces adjacent
+        equal-valued runs) in one linear pass with no sort and no
+        per-segment expansion.
+        """
+        normalised: List[SimEntry] = []
+        # Accumulate the open run in locals; one SimEntry per *final* run
+        # (a piece-per-segment input would otherwise allocate per piece).
+        run_begin = run_end = 0
+        run_actual = 0.0
+        open_run = False
+        for begin, end, actual in pieces:
+            if actual <= SIM_EPS:
+                continue
+            if (
+                open_run
+                and run_end + 1 == begin
+                and abs(run_actual - actual) <= SIM_EPS
+            ):
+                run_end = end
+                continue
+            if open_run:
+                normalised.append(
+                    SimEntry(Interval(run_begin, run_end), run_actual)
+                )
+            run_begin, run_end, run_actual = begin, end, float(actual)
+            open_run = True
+        if open_run:
+            normalised.append(
+                SimEntry(Interval(run_begin, run_end), run_actual)
+            )
+        return cls(normalised, maximum)
+
+    @classmethod
     def from_segment_values(
         cls, values: Dict[int, float], maximum: float
     ) -> "SimilarityList":

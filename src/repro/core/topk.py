@@ -24,6 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.core import instrument
 from repro.core.engine import RetrievalEngine, actual_upper_bound
 from repro.core.simlist import SIM_EPS, SimilarityList, SimilarityValue
 from repro.errors import UnsupportedFormulaError
@@ -182,8 +183,10 @@ def top_k_across_videos(
             sim = engine.evaluate_video(
                 formula, video, level=level, database=database
             )
-            _stream_entries(heap, k, sim, video.name)
-        return _drain(heap)
+            with instrument.stage(instrument.TOP_K):
+                _stream_entries(heap, k, sim, video.name)
+        with instrument.stage(instrument.TOP_K):
+            return _drain(heap)
 
     lock = threading.Lock()
 
@@ -199,13 +202,15 @@ def top_k_across_videos(
             formula, video, level=level, database=database
         )
         with lock:
-            _stream_entries(heap, k, sim, video.name)
+            with instrument.stage(instrument.TOP_K):
+                _stream_entries(heap, k, sim, video.name)
 
     with ThreadPoolExecutor(max_workers=parallelism) as pool:
         # Consume the iterator so worker exceptions propagate.
         for __ in pool.map(visit, videos):
             pass
-    return _drain(heap)
+    with instrument.stage(instrument.TOP_K):
+        return _drain(heap)
 
 
 def top_k_videos(

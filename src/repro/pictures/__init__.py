@@ -1,12 +1,16 @@
 """Picture-retrieval substrate: atom scoring, indices, similarity tables."""
 
 from repro.pictures.index import MetadataIndex
-from repro.pictures.retrieval import PictureRetrievalSystem
+from repro.pictures.retrieval import PictureRetrievalSystem, PictureStats
 from repro.pictures.scoring import max_similarity, score
+from repro.pictures.support import AtomSupport, SupportAnalyzer
 
 __all__ = [
     "PictureRetrievalSystem",
+    "PictureStats",
     "MetadataIndex",
+    "SupportAnalyzer",
+    "AtomSupport",
     "score",
     "max_similarity",
 ]

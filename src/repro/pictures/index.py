@@ -4,13 +4,80 @@ The picture-retrieval systems the paper builds on ([27, 25, 2]) answer
 atomic queries "employing indices on the meta-data"; this module provides
 the equivalent: postings lists from objects, types, relationship names and
 segment attributes to 1-based segment ids.
+
+Postings are deduplicated once, at construction, and stored as sorted
+tuples; accessors return the stored tuples directly (no per-call copies),
+so the support-set analysis of :mod:`repro.pictures.support` can
+intersect/union them without paying a rebuild per atom per binding.
+
+Construction also assigns every segment a **content profile id**: two
+segments share a profile exactly when their full meta-data is equal up
+to reordering (of objects, attributes and relationships).  Scoring is
+invariant under those reorderings, so the index-driven evaluator can
+reuse a score across same-profile segments without re-probing anything.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple
 
 from repro.model.metadata import AttrValue, SegmentMetadata
+
+#: The shared empty postings tuple.
+_EMPTY: Tuple[int, ...] = ()
+
+
+def _frozen(postings: Dict[str, List[int]]) -> "Dict[str, Tuple[int, ...]]":
+    return {key: tuple(values) for key, values in postings.items()}
+
+
+def _content_key(segment: SegmentMetadata) -> tuple:
+    """Canonical, order-insensitive key of a segment's full meta-data.
+
+    Mixed-type values make direct tuple comparison unsafe, so the sorts
+    key on ``repr`` — deterministic and total over our value types.
+    """
+    objects = tuple(
+        sorted(
+            (
+                (
+                    instance.object_id,
+                    instance.type,
+                    instance.confidence,
+                    tuple(
+                        sorted(
+                            (
+                                (name, fact.value, fact.confidence)
+                                for name, fact in instance.attributes.items()
+                            ),
+                            key=repr,
+                        )
+                    ),
+                )
+                for instance in segment.objects()
+            ),
+            key=repr,
+        )
+    )
+    attributes = tuple(
+        sorted(
+            (
+                (name, fact.value, fact.confidence)
+                for name, fact in segment.attributes.items()
+            ),
+            key=repr,
+        )
+    )
+    relationships = tuple(
+        sorted(
+            (
+                (rel.name, rel.args, rel.confidence)
+                for rel in segment.relationships
+            ),
+            key=repr,
+        )
+    )
+    return objects, attributes, relationships
 
 
 class MetadataIndex:
@@ -18,61 +85,95 @@ class MetadataIndex:
 
     def __init__(self, segments: Sequence[SegmentMetadata]):
         self.n_segments = len(segments)
-        self._by_object: Dict[str, List[int]] = {}
-        self._by_type: Dict[str, List[int]] = {}
-        self._by_relationship: Dict[str, List[int]] = {}
-        self._by_segment_attr: Dict[Tuple[str, AttrValue], List[int]] = {}
+        by_object: Dict[str, List[int]] = {}
+        by_type: Dict[str, List[int]] = {}
+        by_relationship: Dict[str, List[int]] = {}
+        by_segment_attr: Dict[Tuple[str, AttrValue], List[int]] = {}
+        by_attr_name: Dict[str, List[int]] = {}
+        with_any_object: List[int] = []
         self._objects_of_type: Dict[str, List[str]] = {}
         object_types_seen: Dict[Tuple[str, str], None] = {}
         for segment_id, segment in enumerate(segments, start=1):
+            saw_object = False
             for instance in segment.objects():
-                self._by_object.setdefault(instance.object_id, []).append(
+                saw_object = True
+                by_object.setdefault(instance.object_id, []).append(
                     segment_id
                 )
-                self._by_type.setdefault(instance.type, []).append(segment_id)
+                type_postings = by_type.setdefault(instance.type, [])
+                if not type_postings or type_postings[-1] != segment_id:
+                    type_postings.append(segment_id)
                 type_key = (instance.type, instance.object_id)
                 if type_key not in object_types_seen:
                     object_types_seen[type_key] = None
                     self._objects_of_type.setdefault(instance.type, []).append(
                         instance.object_id
                     )
+            if saw_object:
+                with_any_object.append(segment_id)
             for relationship in segment.relationships:
-                self._by_relationship.setdefault(
+                rel_postings = by_relationship.setdefault(
                     relationship.name, []
-                ).append(segment_id)
+                )
+                if not rel_postings or rel_postings[-1] != segment_id:
+                    rel_postings.append(segment_id)
             for name, fact in segment.attributes.items():
-                self._by_segment_attr.setdefault(
-                    (name, fact.value), []
-                ).append(segment_id)
+                by_segment_attr.setdefault((name, fact.value), []).append(
+                    segment_id
+                )
+                by_attr_name.setdefault(name, []).append(segment_id)
+        self._by_object: Dict[str, Tuple[int, ...]] = _frozen(by_object)
+        self._by_type: Dict[str, Tuple[int, ...]] = _frozen(by_type)
+        self._by_relationship: Dict[str, Tuple[int, ...]] = _frozen(
+            by_relationship
+        )
+        self._by_segment_attr: Dict[Tuple[str, AttrValue], Tuple[int, ...]] = {
+            key: tuple(values) for key, values in by_segment_attr.items()
+        }
+        self._by_attr_name: Dict[str, Tuple[int, ...]] = _frozen(by_attr_name)
+        self._with_any_object: Tuple[int, ...] = tuple(with_any_object)
+        profile_ids: Dict[tuple, int] = {}
+        self._segment_profiles: Tuple[int, ...] = tuple(
+            profile_ids.setdefault(_content_key(segment), len(profile_ids))
+            for segment in segments
+        )
+        self.n_profiles = len(profile_ids)
 
     # -- postings -----------------------------------------------------------
-    def segments_with_object(self, object_id: str) -> List[int]:
+    def segments_with_object(self, object_id: str) -> Tuple[int, ...]:
         """Ids of segments in which the object appears."""
-        return list(self._by_object.get(object_id, []))
+        return self._by_object.get(object_id, _EMPTY)
 
-    def segments_with_type(self, type_name: str) -> List[int]:
+    def segments_with_type(self, type_name: str) -> Tuple[int, ...]:
         """Ids of segments containing at least one object of the type."""
-        postings = self._by_type.get(type_name, [])
-        deduplicated: List[int] = []
-        for segment_id in postings:
-            if not deduplicated or deduplicated[-1] != segment_id:
-                deduplicated.append(segment_id)
-        return deduplicated
+        return self._by_type.get(type_name, _EMPTY)
 
-    def segments_with_relationship(self, name: str) -> List[int]:
+    def segments_with_relationship(self, name: str) -> Tuple[int, ...]:
         """Ids of segments containing a relationship with the name."""
-        postings = self._by_relationship.get(name, [])
-        deduplicated: List[int] = []
-        for segment_id in postings:
-            if not deduplicated or deduplicated[-1] != segment_id:
-                deduplicated.append(segment_id)
-        return deduplicated
+        return self._by_relationship.get(name, _EMPTY)
 
     def segments_with_attribute(
         self, name: str, value: AttrValue
-    ) -> List[int]:
+    ) -> Tuple[int, ...]:
         """Ids of segments whose segment attribute has exactly the value."""
-        return list(self._by_segment_attr.get((name, value), []))
+        return self._by_segment_attr.get((name, value), _EMPTY)
+
+    def segments_with_attribute_name(self, name: str) -> Tuple[int, ...]:
+        """Ids of segments where the segment attribute is defined at all."""
+        return self._by_attr_name.get(name, _EMPTY)
+
+    def segments_with_any_object(self) -> Tuple[int, ...]:
+        """Ids of segments containing at least one object."""
+        return self._with_any_object
+
+    # -- content profiles ----------------------------------------------------
+    def segment_profiles(self) -> Tuple[int, ...]:
+        """Per-segment content profile ids, in segment order (0-indexed).
+
+        Segments with equal profiles have equal meta-data up to
+        reordering, hence equal scores for every atom, binding and pool.
+        """
+        return self._segment_profiles
 
     # -- object universe ------------------------------------------------------
     def all_object_ids(self) -> List[str]:

@@ -13,12 +13,28 @@ attribute-variable-free ``q``; the satisfying value space is partitioned
 into elementary ranges at the values ``q`` takes across the sequence, and
 within an elementary range the atom's similarity is constant, so one
 representative value per range suffices.
+
+Two evaluation paths produce every table (DESIGN.md §7):
+
+* the **naive scan** walks every (binding × segment) pair through the
+  recursive scorer — the definitional oracle, kept verbatim;
+* the **index-driven path** (default) asks the support-set analysis of
+  :mod:`repro.pictures.support` which segments can score differently from
+  the binding's *baseline* (its score on an empty segment), sweeps only
+  those — all bindings batched per segment, memoizing on the relevant
+  meta-data fingerprint — and emits the baseline over the complement as
+  interval runs directly in compressed form.
+
+The two are list-for-list identical (property-tested); ``use_index``
+selects per system or per call, and ``EngineConfig(naive_atoms=True)``
+forces the naive path engine-wide.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.ranges import FULL, Range, interval
 from repro.core.simlist import SIM_EPS, SimilarityList
@@ -34,14 +50,71 @@ from repro.htl.variables import (
 from repro.model.metadata import SegmentMetadata
 from repro.pictures.index import MetadataIndex
 from repro.pictures.scoring import eval_term, max_similarity, score
+from repro.pictures.support import AtomSupport, SupportAnalyzer
+
+#: The representative empty segment baselines are scored on.
+_EMPTY_SEGMENT = SegmentMetadata()
+
+
+@dataclass
+class PictureStats:
+    """Work counters of the index-driven path (reset with :meth:`reset`)."""
+
+    tables: int = 0
+    bindings: int = 0
+    #: score() invocations against stored segments (the dominant cost).
+    segments_scored: int = 0
+    #: candidate (binding, segment) pairs resolved from the fingerprint memo.
+    fingerprint_hits: int = 0
+    #: total candidate-set sizes over all bounded bindings.
+    candidate_segments: int = 0
+    #: bindings whose support analysis could not bound the candidates.
+    unbounded_bindings: int = 0
+    #: baseline scores computed (one per bounded binding).
+    baseline_scores: int = 0
+
+    def reset(self) -> None:
+        self.tables = 0
+        self.bindings = 0
+        self.segments_scored = 0
+        self.fingerprint_hits = 0
+        self.candidate_segments = 0
+        self.unbounded_bindings = 0
+        self.baseline_scores = 0
+
+
+@dataclass
+class _Job:
+    """One similarity list under construction during the batched sweep."""
+
+    objects: Tuple[str, ...]
+    box: tuple
+    binding: Dict[str, Union[str, int, float]]
+    support: AtomSupport
+    baseline: float = 0.0
+    memo: Dict[tuple, float] = field(default_factory=dict)
+    #: score per segment content profile — sound for every job, plan or
+    #: not, since the score is a pure function of the segment's content
+    #: given the binding and pool.
+    profile_memo: Dict[int, float] = field(default_factory=dict)
+    scored: List[Tuple[int, float]] = field(default_factory=list)
 
 
 class PictureRetrievalSystem:
     """Atom evaluation over one segment sequence, with indices."""
 
-    def __init__(self, segments: Sequence[SegmentMetadata]):
+    def __init__(
+        self, segments: Sequence[SegmentMetadata], use_index: bool = True
+    ):
         self.segments = list(segments)
         self.index = MetadataIndex(self.segments)
+        self.use_index = use_index
+        self.stats = PictureStats()
+        #: When set to a list, the indexed sweep appends every visited
+        #: (objects, segment_id) pair — the support-soundness tests check
+        #: the pairs stay inside the analysis' candidate sets.
+        self.trace_scored: Optional[List[Tuple[Tuple[str, ...], int]]] = None
+        self._analyzer = SupportAnalyzer(self.index)
         self._universe = self.index.all_object_ids()
 
     @property
@@ -49,12 +122,28 @@ class PictureRetrievalSystem:
         """Object ids appearing anywhere in the sequence."""
         return list(self._universe)
 
+    def atom_support(
+        self,
+        atom: ast.Formula,
+        binding: Dict[str, Union[str, int, float]],
+        universe: Optional[Sequence[str]] = None,
+    ) -> AtomSupport:
+        """The support analysis of one (atom, binding) pair.
+
+        ``universe`` is the ∃-pool the analysis expands quantified
+        probes over; it must match the pool the table was (or will be)
+        built with, and defaults to the sequence's objects.
+        """
+        pool = list(universe) if universe is not None else self._universe
+        return self._analyzer.atom_support(atom, binding, pool)
+
     # ------------------------------------------------------------------
     def similarity_table(
         self,
         atom: ast.Formula,
         universe: Optional[Sequence[str]] = None,
         prune: bool = False,
+        use_index: Optional[bool] = None,
     ) -> SimilarityTable:
         """The similarity table of a non-temporal formula.
 
@@ -64,13 +153,15 @@ class PictureRetrievalSystem:
         atom's object conditions are skipped — the "relevant evaluations"
         reading of the paper; the default enumerates every binding, which
         is what the definitional semantics prescribe under partial
-        matching.
+        matching.  ``use_index`` overrides the system-wide path selection
+        for this call (``None`` keeps the system default).
         """
         if not is_non_temporal(atom):
             raise UnsupportedFormulaError(
                 "the picture system evaluates non-temporal formulas only"
             )
         _check_attr_var_usage(atom)
+        indexed = self.use_index if use_index is None else use_index
         pool = list(universe) if universe is not None else list(self._universe)
         object_vars = sorted(free_object_vars(atom))
         attr_vars = sorted(free_attr_vars(atom))
@@ -81,11 +172,17 @@ class PictureRetrievalSystem:
             if prune
             else {name: pool for name in object_vars}
         )
-
-        rows: List[TableRow] = []
         bindings = itertools.product(
             *(candidate_pool[name] for name in object_vars)
         )
+
+        if indexed:
+            rows = self._indexed_rows(
+                atom, bindings, object_vars, attr_vars, pool, maximum
+            )
+            return SimilarityTable(object_vars, attr_vars, rows, maximum)
+
+        rows: List[TableRow] = []
         for values in bindings:
             binding = dict(zip(object_vars, values))
             if attr_vars:
@@ -104,12 +201,191 @@ class PictureRetrievalSystem:
         return SimilarityTable(object_vars, attr_vars, rows, maximum)
 
     def similarity_list(
-        self, atom: ast.Formula, universe: Optional[Sequence[str]] = None
+        self,
+        atom: ast.Formula,
+        universe: Optional[Sequence[str]] = None,
+        use_index: Optional[bool] = None,
     ) -> SimilarityList:
         """Similarity list of a closed atom (no free variables)."""
-        table = self.similarity_table(atom, universe=universe)
+        table = self.similarity_table(
+            atom, universe=universe, use_index=use_index
+        )
         return table.closed_list()
 
+    # ------------------------------------------------------------------
+    # index-driven path
+    # ------------------------------------------------------------------
+    def _indexed_rows(
+        self,
+        atom: ast.Formula,
+        bindings: Iterator[Tuple[str, ...]],
+        object_vars: List[str],
+        attr_vars: List[str],
+        pool: Sequence[str],
+        maximum: float,
+    ) -> List[TableRow]:
+        """Build every row of one table in a single batched sweep."""
+        self.stats.tables += 1
+        jobs: List[_Job] = []
+        for values in bindings:
+            binding = dict(zip(object_vars, values))
+            if attr_vars:
+                jobs.extend(
+                    self._attr_var_jobs(
+                        atom, binding, tuple(values), attr_vars, pool
+                    )
+                )
+            else:
+                jobs.append(
+                    self._make_job(atom, tuple(values), (), binding, pool)
+                )
+        self._sweep(atom, jobs, pool)
+        rows: List[TableRow] = []
+        for job in jobs:
+            sim = self._emit(job, maximum)
+            if attr_vars:
+                keep = bool(sim)
+            else:
+                keep = bool(sim) or not object_vars
+            if keep:
+                rows.append(TableRow(job.objects, job.box, sim))
+        return rows
+
+    def _make_job(
+        self,
+        atom: ast.Formula,
+        objects: Tuple[str, ...],
+        box: tuple,
+        binding: Dict[str, Union[str, int, float]],
+        pool: Sequence[str],
+    ) -> _Job:
+        self.stats.bindings += 1
+        support = self._analyzer.atom_support(atom, binding, pool)
+        if support.candidates is None:
+            self.stats.unbounded_bindings += 1
+        else:
+            self.stats.candidate_segments += len(support.candidates)
+        return _Job(objects, box, binding, support)
+
+    def _attr_var_jobs(
+        self,
+        atom: ast.Formula,
+        binding: Dict[str, Union[str, int, float]],
+        objects: Tuple[str, ...],
+        attr_vars: List[str],
+        pool: Sequence[str],
+    ) -> List[_Job]:
+        per_var_ranges = [
+            _elementary_ranges(
+                self._boundary_values(atom, name, binding, indexed=True)
+            )
+            for name in attr_vars
+        ]
+        jobs: List[_Job] = []
+        for box in itertools.product(*per_var_ranges):
+            extended = dict(binding)
+            skip = False
+            for name, value_range in zip(attr_vars, box):
+                sample = _range_sample(value_range)
+                if sample is None:
+                    skip = True
+                    break
+                extended[name] = sample
+            if skip:
+                continue
+            jobs.append(self._make_job(atom, objects, box, extended, pool))
+        return jobs
+
+    def _sweep(
+        self, atom: ast.Formula, jobs: List[_Job], pool: Sequence[str]
+    ) -> None:
+        """Score all jobs in one ascending pass over candidate segments.
+
+        Each segment is visited once for *all* bindings that list it as a
+        candidate; per job, segments with an identical relevant-metadata
+        fingerprint are scored once (run-compressed scoring).
+        """
+        n_segments = len(self.segments)
+        by_segment: Dict[int, List[_Job]] = {}
+        for job in jobs:
+            candidates = job.support.candidates
+            ids: Sequence[int] = (
+                range(1, n_segments + 1) if candidates is None else candidates
+            )
+            for segment_id in ids:
+                by_segment.setdefault(segment_id, []).append(job)
+            if candidates is not None:
+                # Baseline fills every off-candidate gap; scored on the
+                # empty representative segment with ∃-pools narrowed.
+                job.baseline = score(
+                    atom, _EMPTY_SEGMENT, job.binding, pool, narrow=True
+                )
+                self.stats.baseline_scores += 1
+        trace = self.trace_scored
+        profiles = self.index.segment_profiles()
+        segments = self.segments
+        scored_count = 0
+        hit_count = 0
+        for segment_id in sorted(by_segment):
+            segment = segments[segment_id - 1]
+            profile = profiles[segment_id - 1]
+            for job in by_segment[segment_id]:
+                # First level: segments with identical content (profile)
+                # share a score outright — no probing at all.
+                actual = job.profile_memo.get(profile)
+                if actual is None:
+                    plan = job.support.plan
+                    if plan is None:
+                        actual = score(
+                            atom, segment, job.binding, pool, narrow=True
+                        )
+                        scored_count += 1
+                    else:
+                        # Second level: segments that agree on the
+                        # atom's relevant facts share a score too.
+                        fingerprint = plan.fingerprint(segment)
+                        actual = job.memo.get(fingerprint)
+                        if actual is None:
+                            actual = score(
+                                atom, segment, job.binding, pool, narrow=True
+                            )
+                            job.memo[fingerprint] = actual
+                            scored_count += 1
+                        else:
+                            hit_count += 1
+                    job.profile_memo[profile] = actual
+                else:
+                    hit_count += 1
+                if trace is not None:
+                    trace.append((job.objects, segment_id))
+                job.scored.append((segment_id, actual))
+        self.stats.segments_scored += scored_count
+        self.stats.fingerprint_hits += hit_count
+
+    def _emit(self, job: _Job, maximum: float) -> SimilarityList:
+        """Scored values + baseline gap runs, in compressed form."""
+        n_segments = len(self.segments)
+        baseline = job.baseline
+        pieces: List[Tuple[int, int, float]] = []
+        append = pieces.append
+        if baseline <= SIM_EPS:
+            # Zero baseline: the gaps contribute nothing — emit the
+            # scored segments only.
+            for segment_id, actual in job.scored:
+                append((segment_id, segment_id, actual))
+            return SimilarityList.from_sorted_pieces(pieces, maximum)
+        previous = 0
+        for segment_id, actual in job.scored:
+            if segment_id > previous + 1:
+                append((previous + 1, segment_id - 1, baseline))
+            append((segment_id, segment_id, actual))
+            previous = segment_id
+        if previous < n_segments:
+            append((previous + 1, n_segments, baseline))
+        return SimilarityList.from_sorted_pieces(pieces, maximum)
+
+    # ------------------------------------------------------------------
+    # naive full-scan path (the oracle)
     # ------------------------------------------------------------------
     def _score_list(
         self,
@@ -160,8 +436,14 @@ class PictureRetrievalSystem:
         atom: ast.Formula,
         attr_var: str,
         binding: Dict[str, Union[str, int, float]],
+        indexed: bool = False,
     ) -> "Tuple[Set[int], Set[Union[str, float]]]":
-        """Values the variable is compared against, across the sequence."""
+        """Values the variable is compared against, across the sequence.
+
+        In indexed mode only the segments where the compared term can be
+        defined are scanned (off its support the term evaluates to None
+        and contributes no boundary, so the value set is unchanged).
+        """
         int_bounds: Set[int] = set()
         exact_bounds: Set[Union[str, float]] = set()
         for node in atom.walk():
@@ -170,7 +452,16 @@ class PictureRetrievalSystem:
             other = _compared_term(node, attr_var)
             if other is None:
                 continue
-            for segment in self.segments:
+            if indexed:
+                candidates = self._analyzer.term_candidates(other, binding)
+                segments: Sequence[SegmentMetadata] = (
+                    self.segments
+                    if candidates is None
+                    else [self.segments[i - 1] for i in candidates]
+                )
+            else:
+                segments = self.segments
+            for segment in segments:
                 evaluated = eval_term(other, segment, binding)
                 if evaluated is None:
                     continue

@@ -29,7 +29,8 @@ Semantics of the pieces (``w`` is the condition weight, default 1):
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple, Union
+from functools import lru_cache
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple, Union
 
 from repro.errors import UnsupportedFormulaError
 from repro.htl import ast
@@ -147,12 +148,19 @@ def score(
     segment: SegmentMetadata,
     binding: Binding,
     universe: Sequence[str] = (),
+    narrow: bool = False,
 ) -> float:
     """Actual similarity ``a`` of a non-temporal formula at one segment.
 
     ``universe`` is the pool of object ids an inner ``∃`` quantifies over;
     pass the video's object universe for definitional fidelity (it defaults
     to the segment's own objects inside :func:`score_with_segment_universe`).
+
+    ``narrow=True`` lets each ``∃`` iterate only the pool members that can
+    be distinguished from the fresh-object representative on this segment
+    (see :func:`_narrowed_pool`); the result is provably identical and the
+    indexed retrieval path enables it by default.  The reference semantics
+    keep the definitional full-pool iteration.
     """
     if isinstance(formula, ast.Truth):
         return 1.0
@@ -184,23 +192,27 @@ def score(
             return 0.0
         return confidence * match.confidence
     if isinstance(formula, ast.Weighted):
-        return formula.weight * score(formula.sub, segment, binding, universe)
+        return formula.weight * score(
+            formula.sub, segment, binding, universe, narrow
+        )
     if isinstance(formula, ast.And):
-        return score(formula.left, segment, binding, universe) + score(
-            formula.right, segment, binding, universe
+        return score(formula.left, segment, binding, universe, narrow) + score(
+            formula.right, segment, binding, universe, narrow
         )
     if isinstance(formula, ast.Or):
         return max(
-            score(formula.left, segment, binding, universe),
-            score(formula.right, segment, binding, universe),
+            score(formula.left, segment, binding, universe, narrow),
+            score(formula.right, segment, binding, universe, narrow),
         )
     if isinstance(formula, ast.Not):
         return max_similarity(formula.sub) - score(
-            formula.sub, segment, binding, universe
+            formula.sub, segment, binding, universe, narrow
         )
     if isinstance(formula, ast.Exists):
         base = list(universe) if universe else list(segment.object_ids())
-        return _score_exists(formula, segment, binding, exists_pool(base))
+        return _score_exists(
+            formula, segment, binding, exists_pool(base), narrow
+        )
     if isinstance(formula, ast.Freeze):
         captured = eval_term(formula.func, segment, binding)
         if captured is None:
@@ -209,7 +221,7 @@ def score(
             return 0.0
         extended = dict(binding)
         extended[formula.var] = captured[0]
-        return score(formula.sub, segment, extended, universe)
+        return score(formula.sub, segment, extended, universe, narrow)
     raise UnsupportedFormulaError(
         f"{type(formula).__name__} is not scorable on a single segment"
     )
@@ -220,20 +232,132 @@ def _score_exists(
     segment: SegmentMetadata,
     binding: Binding,
     pool: Sequence[str],
+    narrow: bool = False,
 ) -> float:
     """Max over assignments of the quantified variables from ``pool``."""
     best = 0.0
     names = formula.vars
+    iterate = _narrowed_pool(formula, segment, pool) if narrow else pool
 
     def assign(position: int, current: Binding) -> None:
         nonlocal best
         if position == len(names):
-            best = max(best, score(formula.sub, segment, current, pool))
+            # The *full* pool stays the universe of nested quantifiers;
+            # only this node's iteration is narrowed.
+            best = max(
+                best, score(formula.sub, segment, current, pool, narrow)
+            )
             return
-        for object_id in pool:
+        for object_id in iterate:
             extended = dict(current)
             extended[names[position]] = object_id
             assign(position + 1, extended)
 
     assign(0, dict(binding))
     return best
+
+
+# ---------------------------------------------------------------------------
+# ∃-pool narrowing
+# ---------------------------------------------------------------------------
+def _narrowed_pool(
+    formula: ast.Exists, segment: SegmentMetadata, pool: Sequence[str]
+) -> Sequence[str]:
+    """Exact pool narrowing for one ``∃`` at one segment.
+
+    When every occurrence of the quantified variables is *indiscernible* —
+    ``present(v)``, an attribute-access holder ``attr(v)``, or a bare
+    relationship argument — then any pool member that is neither present
+    in the segment nor (when relationship arguments occur) named by one of
+    its relationship tuples scores exactly like :data:`FRESH_OBJECT_ID`:
+    presence 0, attribute accesses undefined, relationship tuples
+    unmatched.  The fresh id is always iterated, so dropping those members
+    cannot change the max.  Occurrences that can tell absent ids apart
+    (a bare variable in a comparison, an unanalyzable construct) disable
+    narrowing, as does the freak case of the fresh id itself being named
+    by the segment's meta-data.
+    """
+    analysis = _exists_narrowing(formula)
+    if analysis is None:
+        return pool
+    relevant = set(segment.object_ids())
+    if analysis:  # variables occur as relationship arguments
+        for relationship in segment.relationships:
+            for arg in relationship.args:
+                if isinstance(arg, str):
+                    relevant.add(arg)
+    if FRESH_OBJECT_ID in relevant:
+        # The fresh id cannot faithfully represent dropped members here.
+        return pool
+    narrowed = [object_id for object_id in pool if object_id in relevant]
+    narrowed.append(FRESH_OBJECT_ID)
+    return narrowed
+
+
+@lru_cache(maxsize=None)
+def _exists_narrowing(formula: ast.Exists) -> Optional[bool]:
+    """``None`` if narrowing is unsafe, else whether rel args matter."""
+    safe, needs_rel = _narrowing_of(formula.sub, frozenset(formula.vars))
+    return needs_rel if safe else None
+
+
+def _narrowing_of(
+    node: ast.Formula, targets: FrozenSet[str]
+) -> Tuple[bool, bool]:
+    """(safe, needs_rel) of the occurrences of ``targets`` under ``node``."""
+    if not targets:
+        return True, False
+    if isinstance(node, (ast.Truth, ast.Present)):
+        return True, False
+    if isinstance(node, ast.Compare):
+        left_safe, left_rel = _term_occurrences(node.left, targets)
+        right_safe, right_rel = _term_occurrences(node.right, targets)
+        return left_safe and right_safe, left_rel or right_rel
+    if isinstance(node, ast.Rel):
+        needs_rel = False
+        for arg in node.args:
+            if isinstance(arg, ast.ObjectVar) and arg.name in targets:
+                needs_rel = True
+                continue
+            arg_safe, arg_rel = _term_occurrences(arg, targets)
+            if not arg_safe:
+                return False, False
+            needs_rel = needs_rel or arg_rel
+        return True, needs_rel
+    if isinstance(node, (ast.Weighted, ast.Not)):
+        return _narrowing_of(node.sub, targets)
+    if isinstance(node, (ast.And, ast.Or)):
+        left_safe, left_rel = _narrowing_of(node.left, targets)
+        right_safe, right_rel = _narrowing_of(node.right, targets)
+        return left_safe and right_safe, left_rel or right_rel
+    if isinstance(node, ast.Exists):
+        return _narrowing_of(node.sub, targets - frozenset(node.vars))
+    if isinstance(node, ast.Freeze):
+        func_safe, func_rel = _term_occurrences(node.func, targets)
+        sub_safe, sub_rel = _narrowing_of(node.sub, targets - {node.var})
+        return func_safe and sub_safe, func_rel or sub_rel
+    # AtomicRef or an unknown construct: be conservative.
+    return False, False
+
+
+def _term_occurrences(
+    term: ast.Term, targets: FrozenSet[str]
+) -> Tuple[bool, bool]:
+    """(safe, needs_rel) of target-variable occurrences inside a term.
+
+    A target is safe inside a term only as an attribute-access holder;
+    bare (its *value* feeds a comparison or confidence product) it could
+    distinguish two absent ids, so narrowing must be disabled.
+    """
+    if isinstance(term, (ast.ObjectVar, ast.AttrVar)):
+        return term.name not in targets, False
+    if isinstance(term, ast.Const):
+        return True, False
+    if isinstance(term, ast.AttrFunc):
+        if not term.args:
+            return True, False
+        holder = term.args[0]
+        if isinstance(holder, (ast.ObjectVar, ast.AttrVar)):
+            return True, False
+        return _term_occurrences(holder, targets)
+    return False, False

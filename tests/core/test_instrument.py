@@ -1,0 +1,86 @@
+"""Per-stage timing counters (repro.core.instrument / repro.bench.stages)."""
+
+import pytest
+
+from repro.bench import stages
+from repro.core import instrument
+from repro.core.engine import RetrievalEngine
+from repro.core.topk import top_k_across_videos
+from repro.htl.parser import parse
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata, make_object
+
+
+@pytest.fixture(autouse=True)
+def clean_timers():
+    instrument.disable()
+    instrument.reset()
+    yield
+    instrument.disable()
+    instrument.reset()
+
+
+def test_disabled_records_nothing():
+    with instrument.stage("anything"):
+        pass
+    assert instrument.totals() == {}
+
+
+def test_enable_collects_and_counts():
+    instrument.enable()
+    for __ in range(3):
+        with instrument.stage("atom-scoring"):
+            pass
+    totals = instrument.totals()
+    assert totals["atom-scoring"].calls == 3
+    assert totals["atom-scoring"].seconds >= 0.0
+    instrument.disable()
+    with instrument.stage("atom-scoring"):
+        pass
+    assert instrument.totals()["atom-scoring"].calls == 3
+
+
+def test_enable_resets_by_default():
+    instrument.enable()
+    with instrument.stage("s"):
+        pass
+    instrument.enable()
+    assert instrument.totals() == {}
+    instrument.enable(reset=False)
+    with instrument.stage("s"):
+        pass
+    instrument.enable(reset=False)
+    assert instrument.totals()["s"].calls == 1
+
+
+def test_pipeline_attributes_all_three_stages():
+    segments = [
+        SegmentMetadata(objects=[make_object("o1", "person")]),
+        SegmentMetadata(),
+        SegmentMetadata(objects=[make_object("o1", "person")]),
+    ]
+    database = VideoDatabase()
+    database.add(flat_video("v", segments))
+    query = parse(
+        "(exists x . present(x)) and eventually (exists x . present(x))"
+    )
+    stages.enable()
+    results = top_k_across_videos(RetrievalEngine(), query, database, k=2)
+    stages.disable()
+    assert results
+    totals = stages.totals()
+    assert totals[stages.ATOM_SCORING].calls >= 1
+    assert totals[stages.LIST_ALGEBRA].calls >= 1
+    assert totals[stages.TOP_K].calls >= 1
+
+
+def test_stage_report_text():
+    stages.enable()
+    with stages.stage("atom-scoring"):
+        pass
+    text = stages.stage_report_text()
+    assert "atom-scoring" in text
+    assert "Seconds" in text
+    stages.reset()
+    assert "(no stages recorded)" in stages.stage_report_text()

@@ -327,3 +327,28 @@ class TestMaxMerge:
         for i in range(1, horizon + 1):
             expected = max(sim.actual_at(i) for sim in lists)
             assert merged.actual_at(i) == pytest.approx(expected)
+
+
+class TestCriticalPoints:
+    @given(similarity_lists(), similarity_lists())
+    @settings(max_examples=60)
+    def test_two_pointer_matches_set_union(self, left, right):
+        from repro.core.ops import _critical_points
+
+        expected = sorted(
+            {
+                point
+                for sim in (left, right)
+                for entry in sim
+                for point in (entry.begin, entry.end + 1)
+            }
+        )
+        assert _critical_points(left, right) == expected
+
+    def test_empty_lists(self):
+        from repro.core.ops import _critical_points
+
+        empty = SimilarityList.empty(1.0)
+        assert _critical_points(empty, empty) == []
+        one = SimilarityList.from_entries([((2, 4), 1.0)], 1.0)
+        assert _critical_points(one, empty) == [2, 5]

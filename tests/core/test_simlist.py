@@ -184,3 +184,26 @@ class TestRoundTripProperties:
             assert sim.actual_at(segment_id) == pytest.approx(
                 expanded.get(segment_id, 0.0)
             )
+
+
+class TestFromSortedPieces:
+    def test_matches_from_entries(self):
+        pieces = [(1, 3, 0.5), (4, 4, 0.5), (5, 9, 2.0), (12, 14, 0.0)]
+        built = SimilarityList.from_sorted_pieces(pieces, 4.0)
+        expected = SimilarityList.from_entries(
+            [((begin, end), actual) for begin, end, actual in pieces], 4.0
+        )
+        assert built == expected
+        # adjacent equal-valued runs coalesce; zero runs are dropped
+        assert [(e.begin, e.end) for e in built] == [(1, 4), (5, 9)]
+
+    def test_empty_and_all_zero(self):
+        assert SimilarityList.from_sorted_pieces([], 1.0) == (
+            SimilarityList.empty(1.0)
+        )
+        assert not SimilarityList.from_sorted_pieces([(1, 5, 0.0)], 1.0)
+
+    @given(similarity_lists())
+    def test_round_trips_entries(self, sim):
+        pieces = [(entry.begin, entry.end, entry.actual) for entry in sim]
+        assert SimilarityList.from_sorted_pieces(pieces, sim.maximum) == sim

@@ -42,11 +42,11 @@ def system():
 class TestIndex:
     def test_postings(self):
         index = MetadataIndex(segments_fixture())
-        assert index.segments_with_object("p1") == [1, 2]
-        assert index.segments_with_type("airplane") == [1, 2, 3]
-        assert index.segments_with_relationship("holds") == [2]
-        assert index.segments_with_attribute("kind", "battle") == [3]
-        assert index.segments_with_attribute("kind", "other") == []
+        assert index.segments_with_object("p1") == (1, 2)
+        assert index.segments_with_type("airplane") == (1, 2, 3)
+        assert index.segments_with_relationship("holds") == (2,)
+        assert index.segments_with_attribute("kind", "battle") == (3,)
+        assert index.segments_with_attribute("kind", "other") == ()
 
     def test_universe(self):
         index = MetadataIndex(segments_fixture())
