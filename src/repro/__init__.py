@@ -22,9 +22,12 @@ Quickstart::
 from repro.core import (
     EngineConfig,
     EvaluationCache,
+    QueryBudget,
+    ResiliencePolicy,
     RetrievalEngine,
     SimilarityList,
     SimilarityValue,
+    TopKResult,
     top_k_across_videos,
     top_k_segments,
 )
@@ -47,5 +50,8 @@ __all__ = [
     "flat_video",
     "top_k_segments",
     "top_k_across_videos",
+    "TopKResult",
+    "QueryBudget",
+    "ResiliencePolicy",
     "__version__",
 ]

@@ -17,9 +17,32 @@ import sys
 from typing import Dict, List, Optional
 
 from repro.bench.reporting import similarity_table_text
+from repro.core import resilience
 from repro.core.engine import EngineConfig, RetrievalEngine
-from repro.core.topk import top_k_segments
-from repro.errors import ReproError
+from repro.core.topk import top_k_across_videos, top_k_segments
+from repro.errors import (
+    BudgetExceededError,
+    CircuitOpenError,
+    HierarchyError,
+    HTLError,
+    HTLSyntaxError,
+    HTLTypeError,
+    InjectedFaultError,
+    InvalidIntervalError,
+    InvalidSimilarityError,
+    MetadataError,
+    ModelError,
+    ReproError,
+    ResilienceError,
+    SimilarityListInvariantError,
+    SQLCatalogError,
+    SQLError,
+    SQLExecutionError,
+    SQLSyntaxError,
+    UnknownLevelError,
+    UnsupportedFormulaError,
+    WorkloadError,
+)
 from repro.htl import parse, paper_class, pretty, skeleton_class
 from repro.model.database import VideoDatabase
 from repro.sqlbaseline.system import SQLRetrievalSystem
@@ -32,6 +55,89 @@ _DATASETS = {
     "western": ("western", example_database),
     "gulf-war": ("gulf-war", example_database),
 }
+
+#: Exit code for each error family — distinct, non-zero, and stable, so
+#: scripts can branch on the failure kind without scraping stderr.  Code 2
+#: is reserved by argparse for usage errors; the most specific class on an
+#: exception's MRO wins (see :func:`exit_code_for`).
+EXIT_CODES = {
+    ReproError: 1,
+    HTLError: 3,
+    HTLSyntaxError: 4,
+    HTLTypeError: 5,
+    UnsupportedFormulaError: 6,
+    ModelError: 7,
+    HierarchyError: 8,
+    UnknownLevelError: 9,
+    MetadataError: 10,
+    SQLError: 11,
+    SQLSyntaxError: 12,
+    SQLCatalogError: 13,
+    SQLExecutionError: 14,
+    InvalidIntervalError: 15,
+    InvalidSimilarityError: 16,
+    SimilarityListInvariantError: 17,
+    WorkloadError: 18,
+    ResilienceError: 19,
+    BudgetExceededError: 20,
+    CircuitOpenError: 21,
+    InjectedFaultError: 22,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The exit code of the most specific mapped class on the error's MRO."""
+    for klass in type(error).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 1
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {value}"
+        )
+    return value
+
+
+def _level_argument(text: str) -> str:
+    """A level is a positive number or a level name — validated up front."""
+    if text.isdigit() and int(text) < 1:
+        raise argparse.ArgumentTypeError(
+            f"levels are numbered from 1, got {text}"
+        )
+    if not text:
+        raise argparse.ArgumentTypeError("level name must be non-empty")
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,14 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--level",
         default=None,
+        type=_level_argument,
         help="level name or number to assert the query at (default: 2)",
     )
     run.add_argument(
-        "--top", type=int, default=0, help="also print the top-k segments"
+        "--top",
+        type=_nonnegative_int,
+        default=0,
+        help="also print the top-k segments",
     )
     run.add_argument(
         "--threshold",
-        type=float,
+        type=_positive_float,
         default=0.5,
         help="until threshold on fractional similarity (default: 0.5)",
     )
@@ -86,6 +196,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--ranked", action="store_true", help="order output by similarity"
+    )
+    run.add_argument(
+        "--across",
+        action="store_true",
+        help="rank the top segments across every video of the dataset "
+        "(requires --top)",
+    )
+    run.add_argument(
+        "--parallel",
+        type=_positive_int,
+        default=None,
+        help="evaluate videos on this many threads (with --across)",
+    )
+    run.add_argument(
+        "--lenient",
+        action="store_true",
+        help="best-effort mode: report failed videos instead of aborting "
+        "(with --across)",
+    )
+    run.add_argument(
+        "--deadline-ms",
+        type=_positive_float,
+        default=None,
+        help="abort the query after this many wall-clock milliseconds",
+    )
+    run.add_argument(
+        "--max-steps",
+        type=_positive_int,
+        default=None,
+        help="abort the query after this many cooperative work steps",
     )
 
     sql = commands.add_parser(
@@ -135,6 +275,46 @@ def cmd_explain(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _run_budget(arguments: argparse.Namespace) -> Optional[resilience.QueryBudget]:
+    if arguments.deadline_ms is None and arguments.max_steps is None:
+        return None
+    return resilience.QueryBudget(
+        deadline_ms=arguments.deadline_ms, max_steps=arguments.max_steps
+    )
+
+
+def _run_across(
+    arguments: argparse.Namespace,
+    engine: RetrievalEngine,
+    formula,
+    database: VideoDatabase,
+    level: int,
+) -> int:
+    results = top_k_across_videos(
+        engine,
+        formula,
+        database,
+        k=arguments.top,
+        level=level,
+        parallelism=arguments.parallel,
+        budget=_run_budget(arguments),
+        lenient=arguments.lenient,
+    )
+    n_videos = len(results.outcomes)
+    print(f"Top {arguments.top} segments across {n_videos} videos:")
+    for rank, segment in enumerate(results, start=1):
+        print(
+            f"  {rank}. {segment.video} segment {segment.segment_id}  "
+            f"{segment.actual:.3f}/{segment.maximum:g}"
+        )
+    if results.partial:
+        print("\npartial result; degraded videos:")
+        for outcome in results.outcomes:
+            if outcome.degraded:
+                print(f"  {outcome.video}: {outcome.status} ({outcome.error})")
+    return 0
+
+
 def cmd_run(arguments: argparse.Namespace) -> int:
     video_name, loader = _DATASETS[arguments.dataset]
     database: VideoDatabase = loader()
@@ -147,9 +327,18 @@ def cmd_run(arguments: argparse.Namespace) -> int:
         )
     )
     level = _resolve_level(video, arguments.level)
-    result = engine.evaluate_video(
-        formula, video, level=level, database=database
-    )
+    if arguments.across:
+        return _run_across(arguments, engine, formula, database, level)
+    budget = _run_budget(arguments)
+    if budget is not None:
+        with resilience.scope(budget=budget):
+            result = engine.evaluate_video(
+                formula, video, level=level, database=database
+            )
+    else:
+        result = engine.evaluate_video(
+            formula, video, level=level, database=database
+        )
     level_name = video.level_names.get(level, str(level))
     print(
         similarity_table_text(
@@ -202,7 +391,17 @@ def cmd_datasets(arguments: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    arguments = build_parser().parse_args(argv)
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "run":
+        # Cross-flag constraints argparse cannot express; usage errors all
+        # exit 2, before any dataset is loaded or query parsed.
+        if arguments.across and arguments.top < 1:
+            parser.error("--across requires --top >= 1")
+        if arguments.parallel is not None and not arguments.across:
+            parser.error("--parallel requires --across")
+        if arguments.lenient and not arguments.across:
+            parser.error("--lenient requires --across")
     handlers = {
         "classify": cmd_classify,
         "explain": cmd_explain,
@@ -214,7 +413,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return handlers[arguments.command](arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

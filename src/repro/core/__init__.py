@@ -27,9 +27,18 @@ from repro.core.simlist import (
     SimilarityValue,
     set_invariant_checks,
 )
+from repro.core.resilience import (
+    CircuitBreaker,
+    QueryBudget,
+    ResilienceContext,
+    ResiliencePolicy,
+    evaluate_with_fallback,
+)
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
 from repro.core.topk import (
     RetrievedSegment,
+    TopKResult,
+    VideoOutcome,
     ranked_entries,
     top_k_across_videos,
     top_k_segments,
@@ -67,8 +76,15 @@ __all__ = [
     "optimize",
     "explain",
     "RetrievedSegment",
+    "TopKResult",
+    "VideoOutcome",
     "top_k_segments",
     "top_k_across_videos",
     "top_k_videos",
     "ranked_entries",
+    "QueryBudget",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "ResilienceContext",
+    "evaluate_with_fallback",
 ]

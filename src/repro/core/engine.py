@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.core import extensions, instrument, ops
+from repro.core import extensions, instrument, ops, resilience
 from repro.core.cache import EvaluationCache
 from repro.core.simlist import SimilarityList, SimilarityValue
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
@@ -268,6 +268,14 @@ class RetrievalEngine:
         evaluates once.  Tables are immutable once built — every combining
         operation constructs fresh tables — so sharing is safe.
         """
+        budget = resilience.current_budget()
+        if budget is not None:
+            # Each subformula table costs one cooperative step — so pure
+            # list-algebra queries (registered atomics) are visible to the
+            # step budget too — plus a forced deadline check to stay
+            # responsive between the fine-grained charges of the hot loops.
+            budget.charge(1, site="engine-table")
+            budget.checkpoint(site="engine-table")
         cache = self.cache
         if cache is None or context.scope is None:
             return self._compute_table(formula, context)

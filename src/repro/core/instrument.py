@@ -26,6 +26,19 @@ ATOM_SCORING = "atom-scoring"
 LIST_ALGEBRA = "list-algebra"
 TOP_K = "top-k"
 
+#: Canonical event-counter names of the resilience layer.  Unlike stage
+#: timings, counters are always on: they record rare control-flow events
+#: (fallbacks, breaker trips, budget overruns), so the bookkeeping cost is
+#: paid only when something already went wrong.
+ATOM_FALLBACK = "atom-fallback"
+ATOM_BREAKER_OPEN = "atom-breaker-open"
+ENGINE_FALLBACK = "engine-fallback"
+SQL_FALLBACK = "sql-fallback"
+BUDGET_EXCEEDED = "budget-exceeded"
+BREAKER_OPENED = "breaker-opened"
+BREAKER_RECOVERED = "breaker-recovered"
+FAULT_INJECTED = "fault-injected"
+
 _enabled = False
 _lock = threading.Lock()
 
@@ -39,6 +52,7 @@ class StageTotal:
 
 
 _totals: Dict[str, StageTotal] = {}
+_counters: Dict[str, int] = {}
 
 
 def enable(reset: bool = True) -> None:
@@ -46,6 +60,7 @@ def enable(reset: bool = True) -> None:
     global _enabled
     if reset:
         globals()["_totals"] = {}
+        globals()["_counters"] = {}
     _enabled = True
 
 
@@ -60,8 +75,9 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear all accumulated totals."""
+    """Clear all accumulated totals and event counters."""
     globals()["_totals"] = {}
+    globals()["_counters"] = {}
 
 
 def totals() -> Dict[str, StageTotal]:
@@ -81,6 +97,18 @@ def add(name: str, seconds: float, calls: int = 1) -> None:
             total = _totals[name] = StageTotal()
         total.seconds += seconds
         total.calls += calls
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump an event counter (thread-safe, always on)."""
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + n
+
+
+def counters() -> Dict[str, int]:
+    """Snapshot of the event counters (a copy, safe to mutate)."""
+    with _lock:
+        return dict(_counters)
 
 
 @contextmanager

@@ -22,6 +22,7 @@ import bisect
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core import resilience
 from repro.core.intervals import Interval, coalesce
 from repro.core.simlist import SIM_EPS, SimEntry, SimilarityList
 from repro.errors import SimilarityListInvariantError
@@ -43,6 +44,10 @@ def and_lists(left: SimilarityList, right: SimilarityList) -> SimilarityList:
     is zero ... we still may consider f to be partially satisfied").  The
     modified merge walks both sorted entry arrays once.
     """
+    budget = resilience.current_budget()
+    if budget is not None:
+        budget.charge(len(left) + len(right) + 1, site="list-merge")
+    resilience.fault(resilience.SITE_LIST_MERGE)
     maximum = left.maximum + right.maximum
     boundaries = _critical_points(left, right)
     pieces: List[Tuple[Tuple[int, int], float]] = []
@@ -55,7 +60,10 @@ def and_lists(left: SimilarityList, right: SimilarityList) -> SimilarityList:
         total = left_value + right_value
         if total > SIM_EPS:
             pieces.append(((start, stop - 1), total))
-    return SimilarityList.from_entries(pieces, maximum)
+    return resilience.fault_value(
+        resilience.SITE_LIST_MERGE,
+        SimilarityList.from_entries(pieces, maximum),
+    )
 
 
 def _critical_points(
@@ -245,6 +253,10 @@ def until_lists(
         raise SimilarityListInvariantError(
             f"the until threshold must be strictly positive, got {threshold}"
         )
+    budget = resilience.current_budget()
+    if budget is not None:
+        budget.charge(len(left) + len(right) + 1, site="list-merge")
+    resilience.fault(resilience.SITE_LIST_MERGE)
     runs = threshold_runs(left, threshold)
     return until_runs(runs, right)
 
@@ -290,6 +302,11 @@ def max_merge_lists(lists: Sequence[SimilarityList]) -> SimilarityList:
             )
     if len(lists) == 1:
         return lists[0]
+    budget = resilience.current_budget()
+    if budget is not None:
+        budget.charge(
+            sum(len(sim_list) for sim_list in lists), site="list-merge"
+        )
 
     # Events: (position, kind, actual); kind 0 = start, 1 = end-after.
     events: List[Tuple[int, int, float]] = []

@@ -215,6 +215,18 @@ class SimilarityList:
     # ------------------------------------------------------------------
     # invariants
     # ------------------------------------------------------------------
+    def validate(self) -> "SimilarityList":
+        """Run the full invariant scan now, regardless of the global gate.
+
+        The resilience layer calls this at trust boundaries — e.g. before
+        ``top_k_across_videos`` streams a worker-produced list into the
+        shared heap — so a corrupted list surfaces as a typed
+        :class:`~repro.errors.SimilarityListInvariantError` instead of a
+        silently wrong ranking.  Returns ``self`` for chaining.
+        """
+        self._check_invariants()
+        return self
+
     def _check_invariants(self) -> None:
         if self._maximum <= 0:
             raise SimilarityListInvariantError(

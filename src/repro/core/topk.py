@@ -20,14 +20,16 @@ from __future__ import annotations
 
 import heapq
 import threading
+from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Tuple, Union
 
-from repro.core import instrument
+from repro.core import instrument, resilience
 from repro.core.engine import RetrievalEngine, actual_upper_bound
 from repro.core.simlist import SIM_EPS, SimilarityList, SimilarityValue
-from repro.errors import UnsupportedFormulaError
+from repro.errors import BudgetExceededError, UnsupportedFormulaError
 from repro.htl import ast
 from repro.model.database import VideoDatabase
 from repro.model.hierarchy import Video
@@ -148,6 +150,110 @@ def _video_bound(
         return None
 
 
+# ---------------------------------------------------------------------------
+# per-video provenance
+# ---------------------------------------------------------------------------
+#: Outcome statuses recorded by :func:`top_k_across_videos` per video.
+OUTCOME_OK = "ok"
+OUTCOME_PRUNED = "pruned"
+OUTCOME_FAILED = "failed"
+OUTCOME_TIMED_OUT = "timed-out"
+
+
+@dataclass(frozen=True)
+class VideoOutcome:
+    """What happened to one video during a multi-video query.
+
+    ``status`` is one of :data:`OUTCOME_OK` (evaluated and ranked),
+    :data:`OUTCOME_PRUNED` (skipped because its admissible upper bound
+    could not crack the current k-th score — not a degradation),
+    :data:`OUTCOME_FAILED` (evaluation failed and, in lenient mode, the
+    ranking excludes it) or :data:`OUTCOME_TIMED_OUT` (the query budget
+    expired before or during its evaluation).  ``error`` carries the
+    triggering exception for the two degraded statuses.
+    """
+
+    video: str
+    status: str
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OUTCOME_OK
+
+    @property
+    def degraded(self) -> bool:
+        """True when this video is missing from the ranking abnormally."""
+        return self.status in (OUTCOME_FAILED, OUTCOME_TIMED_OUT)
+
+
+class TopKResult(Sequence):
+    """The ranked segments of a multi-video query, plus provenance.
+
+    Behaves as a sequence of :class:`RetrievedSegment` (indexing,
+    iteration, ``len``, equality against plain lists), so existing callers
+    of :func:`top_k_across_videos` keep working unchanged.  The extras:
+
+    * ``outcomes`` — one :class:`VideoOutcome` per video of the database,
+      in database order;
+    * ``partial`` — True when at least one video failed or timed out, i.e.
+      the ranking is best-effort over the videos that did evaluate (only
+      possible in lenient mode — strict mode raises instead).
+    """
+
+    __slots__ = ("segments", "outcomes", "partial")
+
+    def __init__(
+        self,
+        segments: List[RetrievedSegment],
+        outcomes: Sequence = (),
+        partial: bool = False,
+    ):
+        self.segments: List[RetrievedSegment] = list(segments)
+        self.outcomes: Tuple[VideoOutcome, ...] = tuple(outcomes)
+        self.partial = bool(partial)
+
+    # -- sequence protocol over the ranked segments ---------------------
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[RetrievedSegment, List[RetrievedSegment]]:
+        return self.segments[index]
+
+    def __iter__(self) -> Iterator[RetrievedSegment]:
+        return iter(self.segments)
+
+    def __eq__(self, other: object) -> bool:
+        """Ranking equality: outcomes are provenance, not part of the rank."""
+        if isinstance(other, TopKResult):
+            return self.segments == other.segments
+        if isinstance(other, (list, tuple)):
+            return self.segments == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        flags = ", partial=True" if self.partial else ""
+        return (
+            f"TopKResult({len(self.segments)} segments, "
+            f"{len(self.outcomes)} videos{flags})"
+        )
+
+    # -- provenance helpers ---------------------------------------------
+    def outcome_for(self, video: str) -> Optional[VideoOutcome]:
+        """The recorded outcome of one video, by name."""
+        for outcome in self.outcomes:
+            if outcome.video == video:
+                return outcome
+        return None
+
+    @property
+    def failed_videos(self) -> List[str]:
+        """Names of videos missing from the ranking abnormally."""
+        return [o.video for o in self.outcomes if o.degraded]
+
+
 def top_k_across_videos(
     engine: RetrievalEngine,
     formula: ast.Formula,
@@ -157,7 +263,10 @@ def top_k_across_videos(
     *,
     parallelism: Optional[int] = None,
     prune: bool = True,
-) -> List[RetrievedSegment]:
+    budget: Optional[resilience.QueryBudget] = None,
+    policy: Optional[resilience.ResiliencePolicy] = None,
+    lenient: bool = False,
+) -> TopKResult:
     """Evaluate the query on every video and rank segments globally.
 
     Multiple videos are handled exactly as the paper prescribes — "using
@@ -168,49 +277,202 @@ def top_k_across_videos(
     strictly below the current k-th score; ``parallelism >= 2`` evaluates
     videos on that many threads.  Both knobs return rankings identical to
     the serial unpruned scan (see the module docstring for why).
-    """
-    if k <= 0:
-        return []
-    heap: List[_HeapItem] = []
-    videos = list(database.videos())
 
-    if parallelism is None or parallelism <= 1:
-        for video in videos:
-            if prune and len(heap) == k:
-                bound = _video_bound(formula, video, level, database)
-                if bound is not None and bound < heap[0][0] - SIM_EPS:
-                    continue
+    Resilience (DESIGN.md §8): ``budget`` bounds the whole fan-out by
+    wall-clock and cooperative steps; ``policy`` configures the degraded
+    fallback chain; ``lenient=True`` (or a lenient policy) turns per-video
+    failures into recorded :class:`VideoOutcome` entries instead of
+    raising, returning a ``partial=True`` :class:`TopKResult` that still
+    ranks every video that did evaluate.  In strict mode (the default) the
+    first failure propagates after pending sibling evaluations are
+    cancelled.  With none of the three knobs set and no ambient
+    :func:`repro.core.resilience.scope` active, the call runs exactly the
+    pre-resilience fast path.
+    """
+    outcomes: List[VideoOutcome] = []
+    if k <= 0:
+        return TopKResult([])
+
+    ambient = resilience.current()
+    resilient = (
+        budget is not None
+        or policy is not None
+        or lenient
+        or ambient is not None
+    )
+    context: Optional[resilience.ResilienceContext] = None
+    if resilient:
+        if policy is None:
+            policy = (
+                ambient.policy
+                if ambient is not None
+                else resilience.ResiliencePolicy()
+            )
+        if lenient and not policy.lenient:
+            policy = replace(policy, mode=resilience.LENIENT)
+        if budget is None and ambient is not None:
+            budget = ambient.budget
+        if (
+            ambient is not None
+            and ambient.policy is policy
+            and ambient.budget is budget
+        ):
+            context = ambient  # reuse the ambient breakers
+        else:
+            context = resilience.ResilienceContext(policy, budget)
+    strict = context is None or not context.policy.lenient
+
+    def evaluate(video: Video) -> SimilarityList:
+        resilience.fault(resilience.SITE_TOPK_WORKER)
+        if context is not None and context.policy.engine_fallback:
+            sim = resilience.evaluate_with_fallback(
+                engine, formula, video, level, database, context
+            )
+        else:
             sim = engine.evaluate_video(
                 formula, video, level=level, database=database
             )
-            with instrument.stage(instrument.TOP_K):
-                _stream_entries(heap, k, sim, video.name)
+        sim = resilience.fault_value(resilience.SITE_TOPK_WORKER, sim)
+        if context is not None:
+            # Trust boundary: a corrupted list must not enter the shared
+            # heap as a silently wrong ranking.
+            sim.validate()
+        return sim
+
+    heap: List[_HeapItem] = []
+    videos = list(database.videos())
+    activation = (
+        resilience.activate(context) if context is not None else nullcontext()
+    )
+
+    if parallelism is None or parallelism <= 1:
+        deadline: Optional[BudgetExceededError] = None
+        with activation:
+            for video in videos:
+                if deadline is not None:
+                    outcomes.append(
+                        VideoOutcome(video.name, OUTCOME_TIMED_OUT, deadline)
+                    )
+                    continue
+                if prune and len(heap) == k:
+                    bound = _video_bound(formula, video, level, database)
+                    if bound is not None and bound < heap[0][0] - SIM_EPS:
+                        outcomes.append(
+                            VideoOutcome(video.name, OUTCOME_PRUNED)
+                        )
+                        continue
+                try:
+                    sim = evaluate(video)
+                except BudgetExceededError as exc:
+                    if strict:
+                        raise
+                    deadline = exc
+                    outcomes.append(
+                        VideoOutcome(video.name, OUTCOME_TIMED_OUT, exc)
+                    )
+                    continue
+                except Exception as exc:
+                    if strict:
+                        raise
+                    outcomes.append(
+                        VideoOutcome(video.name, OUTCOME_FAILED, exc)
+                    )
+                    continue
+                with instrument.stage(instrument.TOP_K):
+                    _stream_entries(heap, k, sim, video.name)
+                outcomes.append(VideoOutcome(video.name, OUTCOME_OK))
         with instrument.stage(instrument.TOP_K):
-            return _drain(heap)
+            return TopKResult(
+                _drain(heap),
+                outcomes,
+                partial=any(o.degraded for o in outcomes),
+            )
 
     lock = threading.Lock()
+    cancel = threading.Event()
 
-    def visit(video: Video) -> None:
-        if prune:
+    def visit(video: Video) -> Optional[VideoOutcome]:
+        # Workers re-install the submitting thread's context so the whole
+        # fan-out shares one budget and one set of breakers.
+        with (
+            resilience.activate(context)
+            if context is not None
+            else nullcontext()
+        ):
+            if cancel.is_set():
+                return None
+            if prune:
+                with lock:
+                    worst = heap[0][0] if len(heap) == k else None
+                if worst is not None:
+                    bound = _video_bound(formula, video, level, database)
+                    if bound is not None and bound < worst - SIM_EPS:
+                        return VideoOutcome(video.name, OUTCOME_PRUNED)
+            sim = evaluate(video)
             with lock:
-                worst = heap[0][0] if len(heap) == k else None
-            if worst is not None:
-                bound = _video_bound(formula, video, level, database)
-                if bound is not None and bound < worst - SIM_EPS:
-                    return
-        sim = engine.evaluate_video(
-            formula, video, level=level, database=database
-        )
-        with lock:
-            with instrument.stage(instrument.TOP_K):
-                _stream_entries(heap, k, sim, video.name)
+                with instrument.stage(instrument.TOP_K):
+                    _stream_entries(heap, k, sim, video.name)
+            return VideoOutcome(video.name, OUTCOME_OK)
 
+    def note_failure(future) -> None:
+        # Out-of-order early cancellation: a fatal worker failure stops
+        # siblings that have not started yet, even before the parent
+        # reaches this future in submission order.
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None and (
+            strict or isinstance(exc, BudgetExceededError)
+        ):
+            cancel.set()
+
+    fatal: Optional[BaseException] = None
+    deadline = None
     with ThreadPoolExecutor(max_workers=parallelism) as pool:
-        # Consume the iterator so worker exceptions propagate.
-        for __ in pool.map(visit, videos):
-            pass
+        futures = [(video, pool.submit(visit, video)) for video in videos]
+        for __, future in futures:
+            future.add_done_callback(note_failure)
+        for video, future in futures:
+            abort = fatal if fatal is not None else deadline
+            if abort is not None and future.cancel():
+                outcomes.append(
+                    VideoOutcome(video.name, OUTCOME_TIMED_OUT, abort)
+                )
+                continue
+            try:
+                outcome = future.result()
+            except BudgetExceededError as exc:
+                cancel.set()
+                if strict and fatal is None:
+                    fatal = exc
+                deadline = deadline or exc
+                outcomes.append(
+                    VideoOutcome(video.name, OUTCOME_TIMED_OUT, exc)
+                )
+                continue
+            except Exception as exc:
+                if strict:
+                    cancel.set()
+                    if fatal is None:
+                        fatal = exc
+                outcomes.append(VideoOutcome(video.name, OUTCOME_FAILED, exc))
+                continue
+            if outcome is None:
+                outcomes.append(
+                    VideoOutcome(
+                        video.name, OUTCOME_TIMED_OUT, fatal or deadline
+                    )
+                )
+            else:
+                outcomes.append(outcome)
+    if fatal is not None:
+        raise fatal
     with instrument.stage(instrument.TOP_K):
-        return _drain(heap)
+        return TopKResult(
+            _drain(heap),
+            outcomes,
+            partial=any(o.degraded for o in outcomes),
+        )
 
 
 def top_k_videos(

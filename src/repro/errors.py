@@ -95,3 +95,57 @@ class SQLExecutionError(SQLError, RuntimeError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload generator was given inconsistent parameters."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the fault-tolerance layer (:mod:`repro.core.resilience`)."""
+
+
+class BudgetExceededError(ResilienceError, TimeoutError):
+    """A query overran its :class:`~repro.core.resilience.QueryBudget`.
+
+    ``site`` names the cooperative checkpoint that noticed the overrun
+    (one of the stage names in :mod:`repro.core.instrument`, or a caller
+    supplied label), ``steps`` is the cooperative step count consumed so
+    far, and ``elapsed_ms`` the wall-clock milliseconds since the budget
+    started (0 when the budget has no deadline).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: str = "",
+        steps: int = 0,
+        elapsed_ms: float = 0.0,
+    ):
+        self.site = site
+        self.steps = steps
+        self.elapsed_ms = elapsed_ms
+        if site:
+            message = f"{message} (at {site!r})"
+        super().__init__(message)
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was refused because its circuit breaker is open.
+
+    ``breaker`` is the breaker's registered name.
+    """
+
+    def __init__(self, message: str, breaker: str = ""):
+        self.breaker = breaker
+        super().__init__(message)
+
+
+class InjectedFaultError(ResilienceError):
+    """A deterministic fault raised by :mod:`repro.testing.faults`.
+
+    ``site`` names the registered fault site that fired; ``sequence`` is
+    the 1-based index of this fault within its injector's run, so chaos
+    tests can assert exactly which trigger produced an observed failure.
+    """
+
+    def __init__(self, message: str, site: str = "", sequence: int = 0):
+        self.site = site
+        self.sequence = sequence
+        super().__init__(message)

@@ -36,10 +36,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core import instrument, resilience
 from repro.core.ranges import FULL, Range, interval
 from repro.core.simlist import SIM_EPS, SimilarityList
 from repro.core.tables import SimilarityTable, TableRow
-from repro.errors import HTLTypeError, UnsupportedFormulaError
+from repro.errors import (
+    BudgetExceededError,
+    HTLTypeError,
+    UnsupportedFormulaError,
+)
 from repro.htl import ast
 from repro.htl.classify import is_non_temporal
 from repro.htl.variables import (
@@ -177,10 +182,40 @@ class PictureRetrievalSystem:
         )
 
         if indexed:
-            rows = self._indexed_rows(
-                atom, bindings, object_vars, attr_vars, pool, maximum
+            # Degraded fallback (DESIGN.md §8): under an active resilience
+            # context with atom_fallback, a failing index-driven build is
+            # redone with the naive oracle scorer for this call, and the
+            # "atom-index" breaker takes the indexed path out of rotation
+            # after repeated failures.  Budget overruns always propagate —
+            # a blown deadline must abort, not degrade.
+            context = resilience.current()
+            if context is None or not context.policy.atom_fallback:
+                rows = self._indexed_rows(
+                    atom, bindings, object_vars, attr_vars, pool, maximum
+                )
+                return SimilarityTable(object_vars, attr_vars, rows, maximum)
+            breaker = context.breaker("atom-index")
+            if breaker.allow():
+                try:
+                    rows = self._indexed_rows(
+                        atom, bindings, object_vars, attr_vars, pool, maximum
+                    )
+                    table = SimilarityTable(
+                        object_vars, attr_vars, rows, maximum
+                    )
+                    breaker.record_success()
+                    return table
+                except BudgetExceededError:
+                    raise
+                except Exception:
+                    breaker.record_failure()
+                    instrument.count(instrument.ATOM_FALLBACK)
+            else:
+                instrument.count(instrument.ATOM_BREAKER_OPEN)
+            # The bindings iterator may be partially consumed; rebuild it.
+            bindings = itertools.product(
+                *(candidate_pool[name] for name in object_vars)
             )
-            return SimilarityTable(object_vars, attr_vars, rows, maximum)
 
         rows: List[TableRow] = []
         for values in bindings:
@@ -242,7 +277,9 @@ class PictureRetrievalSystem:
         self._sweep(atom, jobs, pool)
         rows: List[TableRow] = []
         for job in jobs:
-            sim = self._emit(job, maximum)
+            sim = resilience.fault_value(
+                resilience.SITE_ATOM_SCORE, self._emit(job, maximum)
+            )
             if attr_vars:
                 keep = bool(sim)
             else:
@@ -260,6 +297,7 @@ class PictureRetrievalSystem:
         pool: Sequence[str],
     ) -> _Job:
         self.stats.bindings += 1
+        resilience.fault(resilience.SITE_INDEX_LOOKUP)
         support = self._analyzer.atom_support(atom, binding, pool)
         if support.candidates is None:
             self.stats.unbounded_bindings += 1
@@ -317,6 +355,7 @@ class PictureRetrievalSystem:
             if candidates is not None:
                 # Baseline fills every off-candidate gap; scored on the
                 # empty representative segment with ∃-pools narrowed.
+                resilience.fault(resilience.SITE_ATOM_SCORE)
                 job.baseline = score(
                     atom, _EMPTY_SEGMENT, job.binding, pool, narrow=True
                 )
@@ -324,11 +363,21 @@ class PictureRetrievalSystem:
         trace = self.trace_scored
         profiles = self.index.segment_profiles()
         segments = self.segments
+        budget = resilience.current_budget()
         scored_count = 0
         hit_count = 0
+        pending = 0
         for segment_id in sorted(by_segment):
             segment = segments[segment_id - 1]
             profile = profiles[segment_id - 1]
+            if budget is not None:
+                # Charge in blocks: one budget call per 256 segments keeps
+                # step accounting exact at a fraction of the per-iteration
+                # cost (the <5% gate in bench_chaos_recovery.py).
+                pending += 1
+                if pending >= 256:
+                    budget.charge(pending, site="atom-scoring")
+                    pending = 0
             for job in by_segment[segment_id]:
                 # First level: segments with identical content (profile)
                 # share a score outright — no probing at all.
@@ -336,6 +385,7 @@ class PictureRetrievalSystem:
                 if actual is None:
                     plan = job.support.plan
                     if plan is None:
+                        resilience.fault(resilience.SITE_ATOM_SCORE)
                         actual = score(
                             atom, segment, job.binding, pool, narrow=True
                         )
@@ -346,6 +396,7 @@ class PictureRetrievalSystem:
                         fingerprint = plan.fingerprint(segment)
                         actual = job.memo.get(fingerprint)
                         if actual is None:
+                            resilience.fault(resilience.SITE_ATOM_SCORE)
                             actual = score(
                                 atom, segment, job.binding, pool, narrow=True
                             )
@@ -359,6 +410,8 @@ class PictureRetrievalSystem:
                 if trace is not None:
                     trace.append((job.objects, segment_id))
                 job.scored.append((segment_id, actual))
+        if budget is not None and pending:
+            budget.charge(pending, site="atom-scoring")
         self.stats.segments_scored += scored_count
         self.stats.fingerprint_hits += hit_count
 

@@ -59,6 +59,7 @@ from typing import (
     Union,
 )
 
+from repro.core import resilience
 from repro.htl import ast
 from repro.model.metadata import SegmentMetadata
 from repro.pictures.index import MetadataIndex
@@ -249,6 +250,9 @@ class SupportAnalyzer:
         range over; their probes are expanded over it.  The fresh-object
         sentinel carries no meta-data and is dropped.
         """
+        budget = resilience.current_budget()
+        if budget is not None:
+            budget.charge(1, site="atom-scoring")
         pool_ids = tuple(
             object_id
             for object_id in pool

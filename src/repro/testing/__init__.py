@@ -1,0 +1,21 @@
+"""Test-support machinery shipped with the package.
+
+The deterministic fault-injection harness lives here
+(:mod:`repro.testing.faults`); the production-side hook points it drives
+live in :mod:`repro.core.resilience` so that core never imports testing
+code.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    corrupt_similarity_list,
+    inject,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "inject",
+    "corrupt_similarity_list",
+]

@@ -1,0 +1,210 @@
+"""Deterministic fault injection for the resilience layer (DESIGN.md §8).
+
+The production code of :mod:`repro.core.resilience` exposes named fault
+sites — index lookups, atom scoring, list merges, top-k workers — that
+cost one global ``None`` check when no injector is installed.  This
+module is the other half: a seeded :class:`FaultInjector` that decides,
+reproducibly, at which visits to a site to raise a typed error, sleep, or
+hand back a corrupted similarity list.
+
+Chaos tests drive it through the :func:`inject` context manager::
+
+    with inject(FaultSpec(resilience.SITE_ATOM_SCORE), seed=1997) as chaos:
+        result = top_k_across_videos(engine, query, database, k=5,
+                                     lenient=True)
+    assert chaos.injected  # the run really was perturbed
+
+Determinism: the injector draws from one ``random.Random(seed)`` in site
+visit order, so a serial run replays exactly under the same seed.  Under
+``parallelism >= 2`` the visit order races; chaos properties asserted
+over parallel runs must therefore be order-independent ("never a silently
+wrong ranking"), not sequence-exact.
+
+Corruption never fabricates a plausible list: :func:`corrupt_similarity_list`
+always builds an *invariant-violating* one through the public
+:meth:`~repro.core.simlist.SimilarityList.from_raw`.  With the invariant
+gate on (the test suite's default) the violation raises right at the
+site; with the gate off it is caught by the trust-boundary
+``validate()`` call before ``top_k_across_videos`` streams the list into
+the shared heap.  Either way the corruption surfaces as a typed
+:class:`~repro.errors.SimilarityListInvariantError`, never as a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core import instrument, resilience
+from repro.core.intervals import Interval
+from repro.core.simlist import SimEntry, SimilarityList
+from repro.errors import InjectedFaultError
+
+#: Injection modes.
+RAISE = "raise"
+DELAY = "delay"
+CORRUPT = "corrupt"
+
+MODES = (RAISE, DELAY, CORRUPT)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject: where, what kind, how often.
+
+    ``rate`` is the per-visit probability of firing (1.0 fires on every
+    visit); ``max_faults`` caps the total number of firings so a run can
+    be perturbed without being starved.  ``delay_ms`` applies to
+    :data:`DELAY` mode only — it burns real wall-clock, which is how
+    deadline tests force a timeout at a precise site.
+    """
+
+    site: str
+    mode: str = RAISE
+    rate: float = 1.0
+    max_faults: Optional[int] = None
+    delay_ms: float = 1.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.site not in resilience.FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; registered sites: "
+                f"{', '.join(resilience.FAULT_SITES)}"
+            )
+        if self.mode not in MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; one of {', '.join(MODES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ValueError(
+                f"max_faults must be >= 0, got {self.max_faults}"
+            )
+        if self.delay_ms < 0:
+            raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
+
+
+def corrupt_similarity_list(
+    sim: SimilarityList, rng: random.Random
+) -> SimilarityList:
+    """An invariant-violating variant of ``sim`` (see module docstring).
+
+    Picks one of three violations — overlapping intervals, a negative
+    actual value, an actual above the list maximum — so the corrupted
+    list is guaranteed to fail
+    :meth:`~repro.core.simlist.SimilarityList.validate`.
+    """
+    entries: List[SimEntry] = list(sim.entries)
+    if not entries:
+        return SimilarityList.from_raw(
+            [SimEntry(Interval(1, 1), -1.0)], sim.maximum
+        )
+    first = entries[0]
+    choice = rng.randrange(3)
+    if choice == 0:
+        bad = [first] + entries  # first interval overlaps itself
+    elif choice == 1:
+        bad = [SimEntry(first.interval, -abs(first.actual))] + entries[1:]
+    else:
+        bad = [
+            SimEntry(first.interval, sim.maximum * 2.0 + 1.0)
+        ] + entries[1:]
+    return SimilarityList.from_raw(bad, sim.maximum)
+
+
+class FaultInjector:
+    """The seeded switchboard installed via
+    :func:`repro.core.resilience.set_fault_hook`.
+
+    Implements the hook protocol — ``trip(site)`` for raise/delay specs
+    and ``corrupt(site, value)`` for corruption specs — plus bookkeeping:
+    ``visits`` counts every pass through each site, ``injected`` records
+    each firing as ``(site, sequence, mode)`` in firing order.
+    Thread-safe; one injector may serve a parallel top-k fan-out.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], seed: int = 0):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+        self.visits: Dict[str, int] = {}
+        self.injected: List[Tuple[str, int, str]] = []
+        self._fired: Dict[int, int] = {}  # spec index -> firings so far
+
+    # ------------------------------------------------------------------
+    def faults_at(self, site: str) -> int:
+        """Number of faults fired at one site so far."""
+        with self._lock:
+            return sum(1 for s, __, ___ in self.injected if s == site)
+
+    def _should_fire(self, index: int, spec: FaultSpec) -> bool:
+        """Decide one visit under the lock: rate draw + max_faults cap."""
+        fired = self._fired.get(index, 0)
+        if spec.max_faults is not None and fired >= spec.max_faults:
+            return False
+        if spec.rate < 1.0 and self._random.random() >= spec.rate:
+            return False
+        self._fired[index] = fired + 1
+        return True
+
+    def _arm(self, site: str, wanted_modes: Tuple[str, ...]):
+        """The first matching spec that fires on this visit, or None."""
+        with self._lock:
+            self.visits[site] = self.visits.get(site, 0) + 1
+            sequence = self.visits[site]
+            for index, spec in enumerate(self.specs):
+                if spec.site != site or spec.mode not in wanted_modes:
+                    continue
+                if self._should_fire(index, spec):
+                    self.injected.append((site, sequence, spec.mode))
+                    instrument.count(instrument.FAULT_INJECTED)
+                    return spec, sequence
+        return None
+
+    # -- hook protocol ---------------------------------------------------
+    def trip(self, site: str) -> None:
+        """Raise or delay at a site, per the armed spec (hook protocol)."""
+        armed = self._arm(site, (RAISE, DELAY))
+        if armed is None:
+            return
+        spec, sequence = armed
+        if spec.mode == DELAY:
+            time.sleep(spec.delay_ms / 1000.0)
+            return
+        message = spec.message or f"injected fault at {site!r}"
+        raise InjectedFaultError(message, site=site, sequence=sequence)
+
+    def corrupt(self, site: str, value: Any) -> Any:
+        """Corrupt a value flowing through a site (hook protocol)."""
+        if not isinstance(value, SimilarityList):
+            return value
+        armed = self._arm(site, (CORRUPT,))
+        if armed is None:
+            return value
+        with self._lock:
+            return corrupt_similarity_list(value, self._random)
+
+
+@contextmanager
+def inject(
+    *specs: FaultSpec, seed: int = 0
+) -> Iterator[FaultInjector]:
+    """Install a seeded injector for the duration of the block.
+
+    Restores the previously installed hook on exit, so injections nest
+    and never leak across tests.
+    """
+    injector = FaultInjector(specs, seed=seed)
+    previous = resilience.set_fault_hook(injector)
+    try:
+        yield injector
+    finally:
+        resilience.set_fault_hook(previous)

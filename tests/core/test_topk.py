@@ -259,3 +259,213 @@ class TestUpperBound:
         )
         for entry in sim.entries:
             assert entry.actual <= bound + SIM_EPS
+
+
+# ---------------------------------------------------------------------------
+# resilience: provenance, partial results, cancellation
+# ---------------------------------------------------------------------------
+from repro.core import resilience  # noqa: E402
+from repro.core.topk import (  # noqa: E402
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_PRUNED,
+    OUTCOME_TIMED_OUT,
+    TopKResult,
+    VideoOutcome,
+)
+from repro.errors import BudgetExceededError  # noqa: E402
+
+
+class RecordingEngine(RetrievalEngine):
+    """A real engine that logs which videos it evaluated and can be told
+    to fail for some of them."""
+
+    def __init__(self, fail_for=(), **kwargs):
+        super().__init__(**kwargs)
+        self.fail_for = set(fail_for)
+        self.calls = []
+
+    def evaluate_video(self, formula, video, level=2, database=None,
+                       atomic_lists=None):
+        self.calls.append(video.name)
+        if video.name in self.fail_for:
+            raise RuntimeError(f"evaluation down for {video.name}")
+        return super().evaluate_video(
+            formula, video, level=level, database=database,
+            atomic_lists=atomic_lists,
+        )
+
+
+NO_FALLBACK_LENIENT = resilience.ResiliencePolicy(
+    mode=resilience.LENIENT, atom_fallback=False, engine_fallback=False
+)
+
+
+class TestTopKResult:
+    def test_sequence_protocol_and_list_equality(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        result = top_k_across_videos(RetrievalEngine(), formula, database, k=3)
+        assert isinstance(result, TopKResult)
+        assert len(result) == 3
+        assert result[0].video == result.segments[0].video
+        assert list(result) == result.segments
+        assert result == result.segments  # list on the right
+        assert result.segments == list(result)
+
+    def test_outcomes_cover_every_video_in_order(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        result = top_k_across_videos(RetrievalEngine(), formula, database, k=3)
+        assert [o.video for o in result.outcomes] == ["alpha", "beta"]
+        assert all(o.status == OUTCOME_OK for o in result.outcomes)
+        assert not result.partial
+        assert result.failed_videos == []
+        assert result.outcome_for("alpha").ok
+        assert result.outcome_for("nope") is None
+
+    def test_pruned_videos_are_marked_not_degraded(self):
+        database = synthetic_corpus(n_videos=6, n_segments=100)
+        formula = parse("$P1 and $P2")
+        result = top_k_across_videos(
+            RetrievalEngine(), formula, database, k=1, prune=True
+        )
+        statuses = {o.status for o in result.outcomes}
+        assert OUTCOME_PRUNED in statuses  # at least one prune fired
+        assert not result.partial  # pruning is not degradation
+
+
+class TestLenientMode:
+    def test_failed_video_recorded_rest_still_ranked(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        engine = RecordingEngine(fail_for=["beta"])
+        result = top_k_across_videos(
+            engine, formula, database, k=4, policy=NO_FALLBACK_LENIENT
+        )
+        assert result.partial
+        assert result.failed_videos == ["beta"]
+        assert result.outcome_for("beta").status == OUTCOME_FAILED
+        assert isinstance(result.outcome_for("beta").error, RuntimeError)
+        assert {s.video for s in result} == {"alpha"}
+
+    def test_default_lenient_policy_recovers_via_fallback(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        baseline = top_k_across_videos(
+            RetrievalEngine(), formula, database, k=4
+        )
+        engine = RecordingEngine(fail_for=["beta"])
+        result = top_k_across_videos(
+            engine, formula, database, k=4, lenient=True
+        )
+        # The naive-engine fallback answered for beta: full ranking, no
+        # degradation recorded.
+        assert result == baseline
+        assert not result.partial
+
+    def test_strict_mode_raises_first_failure(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        engine = RecordingEngine(fail_for=["beta"])
+        with pytest.raises(RuntimeError, match="beta"):
+            top_k_across_videos(
+                engine, formula, database, k=4,
+                policy=resilience.ResiliencePolicy(
+                    atom_fallback=False, engine_fallback=False
+                ),
+            )
+
+    def test_budget_timeout_marks_remaining_videos(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        engine = RecordingEngine()
+        result = top_k_across_videos(
+            engine, formula, database, k=4,
+            budget=resilience.QueryBudget(max_steps=1),
+            lenient=True,
+        )
+        assert result.partial
+        assert [o.status for o in result.outcomes] == [
+            OUTCOME_TIMED_OUT, OUTCOME_TIMED_OUT,
+        ]
+        # The deadline aborted the fan-out: beta was never evaluated.
+        assert engine.calls == ["alpha"]
+        assert isinstance(
+            result.outcome_for("beta").error, BudgetExceededError
+        )
+
+    def test_strict_budget_raises(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        with pytest.raises(BudgetExceededError):
+            top_k_across_videos(
+                RetrievalEngine(), formula, database, k=4,
+                budget=resilience.QueryBudget(max_steps=1),
+            )
+
+    def test_ambient_scope_supplies_budget_and_policy(self):
+        database = two_video_database()
+        formula = parse("exists x . present(x)")
+        engine = RecordingEngine()
+        with resilience.scope(
+            budget=resilience.QueryBudget(max_steps=1),
+            policy=resilience.ResiliencePolicy(mode=resilience.LENIENT),
+        ):
+            result = top_k_across_videos(engine, formula, database, k=4)
+        assert result.partial
+        assert result.outcome_for("alpha").status == OUTCOME_TIMED_OUT
+
+
+class TestParallelCancellation:
+    def test_worker_exception_propagates_and_cancels_siblings(self):
+        database = synthetic_corpus(n_videos=6, n_segments=30)
+        formula = parse("$P1 and $P2")
+        engine = RecordingEngine(fail_for=["vid00"])
+        with pytest.raises(RuntimeError, match="vid00"):
+            top_k_across_videos(
+                engine, formula, database, k=5,
+                parallelism=1, prune=False,
+            )
+        # With one worker the failure lands before any sibling starts; the
+        # cancellation event must stop every later video from evaluating.
+        assert engine.calls == ["vid00"]
+
+    def test_parallel_lenient_keeps_ranking_other_videos(self):
+        database = synthetic_corpus(n_videos=5, n_segments=40)
+        formula = parse("$P1 and $P2")
+        # The expected partial answer is the exact ranking over the corpus
+        # with the failing video absent.
+        reduced = VideoDatabase()
+        for video in database.videos():
+            if video.name == "vid02":
+                continue
+            reduced.add(video)
+            for name in ("P1", "P2"):
+                reduced.register_atomic(
+                    name, video.name, database.atomic_list(name, video.name)
+                )
+        expected = top_k_across_videos(
+            RetrievalEngine(), formula, reduced, k=6, prune=False
+        )
+        engine = RecordingEngine(fail_for=["vid02"])
+        result = top_k_across_videos(
+            engine, formula, database, k=6,
+            parallelism=3, prune=False, policy=NO_FALLBACK_LENIENT,
+        )
+        assert result.partial
+        assert result.failed_videos == ["vid02"]
+        assert result == expected
+
+    def test_parallel_resilient_matches_serial(self):
+        database = synthetic_corpus(n_videos=5, n_segments=60)
+        formula = parse("$P1 until $P2")
+        serial = top_k_across_videos(
+            RetrievalEngine(), formula, database, k=8, prune=False
+        )
+        parallel = top_k_across_videos(
+            RetrievalEngine(), formula, database, k=8,
+            parallelism=4, lenient=True,
+        )
+        assert parallel == serial
+        assert not parallel.partial

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import main
+from repro import errors
+from repro.cli import EXIT_CODES, exit_code_for, main
 
 
 def run_cli(capsys, *argv):
@@ -28,7 +29,7 @@ class TestClassify:
 
     def test_parse_error_reported(self, capsys):
         code, __, err = run_cli(capsys, "classify", "and and")
-        assert code == 1
+        assert code == EXIT_CODES[errors.HTLSyntaxError]
         assert "error:" in err
 
 
@@ -71,7 +72,7 @@ class TestRun:
 
     def test_unknown_atomic_is_clean_error(self, capsys):
         code, __, err = run_cli(capsys, "run", "atomic('nope')")
-        assert code == 1
+        assert code == EXIT_CODES[errors.UnsupportedFormulaError]
         assert "no similarity list" in err
 
 
@@ -91,8 +92,119 @@ class TestSql:
 
     def test_unsupported_class_reported(self, capsys):
         code, __, err = run_cli(capsys, "sql", "exists x . eventually present(x)")
-        assert code == 1
+        assert code == EXIT_CODES[errors.UnsupportedFormulaError]
         assert "type (1)" in err
+
+
+class TestExitCodes:
+    def test_distinct_and_nonzero(self):
+        codes = list(EXIT_CODES.values())
+        assert len(set(codes)) == len(codes)
+        assert all(code != 0 for code in codes)
+        assert 2 not in codes  # reserved by argparse for usage errors
+
+    def test_most_specific_class_wins(self):
+        assert exit_code_for(
+            errors.HTLSyntaxError("boom")
+        ) == EXIT_CODES[errors.HTLSyntaxError]
+        assert exit_code_for(
+            errors.BudgetExceededError("slow")
+        ) == EXIT_CODES[errors.BudgetExceededError]
+
+    def test_unmapped_subclass_falls_back_to_family(self):
+        class CustomModelError(errors.ModelError):
+            pass
+
+        assert exit_code_for(CustomModelError("x")) == EXIT_CODES[
+            errors.ModelError
+        ]
+
+
+class TestValidation:
+    def test_negative_top_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--top", "-1", "atomic('Moving-Train')"])
+        assert excinfo.value.code == 2
+
+    def test_zero_level_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--level", "0", "atomic('Moving-Train')"])
+        assert excinfo.value.code == 2
+
+    def test_zero_parallel_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "run",
+                    "--across",
+                    "--top",
+                    "2",
+                    "--parallel",
+                    "0",
+                    "atomic('Moving-Train')",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_across_requires_top(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--across", "atomic('Moving-Train')"])
+        assert excinfo.value.code == 2
+
+    def test_lenient_requires_across(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--lenient", "atomic('Moving-Train')"])
+        assert excinfo.value.code == 2
+
+    def test_bad_deadline_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--deadline-ms", "0", "atomic('Moving-Train')"])
+        assert excinfo.value.code == 2
+
+
+class TestResilienceFlags:
+    def test_across_ranks_all_videos(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "run",
+            "--dataset",
+            "western",
+            "--across",
+            "--top",
+            "3",
+            "exists x . present(x)",
+        )
+        assert code == 0
+        assert "segments across" in out
+
+    def test_deadline_exceeded_maps_to_budget_code(self, capsys):
+        # A 1-step budget cannot cover any real query.
+        code, __, err = run_cli(
+            capsys,
+            "run",
+            "--max-steps",
+            "1",
+            "atomic('Man-Woman') and eventually atomic('Moving-Train')",
+        )
+        assert code == EXIT_CODES[errors.BudgetExceededError]
+        assert "error:" in err
+
+    def test_lenient_across_survives_budget(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "run",
+            "--dataset",
+            "western",
+            "--across",
+            "--top",
+            "2",
+            "--lenient",
+            "--max-steps",
+            "1",
+            "exists x . present(x)",
+        )
+        assert code == 0
+        assert "partial result" in out
 
 
 class TestDatasets:

@@ -1,0 +1,133 @@
+"""The exception-hierarchy contract, checked by introspection.
+
+Complements the spot checks in test_public_api.py: instead of a
+hand-maintained list, walk :mod:`repro.errors` and assert the contract
+for every public exception class — present and future.
+"""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.core.intervals import Interval
+from repro.core.simlist import SimEntry, SimilarityList
+
+
+def public_exception_classes():
+    classes = []
+    for name in dir(errors):
+        if name.startswith("_"):
+            continue
+        obj = getattr(errors, name)
+        if inspect.isclass(obj) and issubclass(obj, BaseException):
+            classes.append(obj)
+    return classes
+
+
+class TestHierarchy:
+    def test_module_exports_exceptions(self):
+        assert len(public_exception_classes()) >= 15
+
+    @pytest.mark.parametrize(
+        "klass", public_exception_classes(), ids=lambda k: k.__name__
+    )
+    def test_every_exception_derives_from_repro_error(self, klass):
+        assert issubclass(klass, errors.ReproError)
+        assert issubclass(klass, Exception)
+
+    @pytest.mark.parametrize(
+        "klass", public_exception_classes(), ids=lambda k: k.__name__
+    )
+    def test_every_exception_has_a_docstring(self, klass):
+        assert klass.__doc__, f"{klass.__name__} is undocumented"
+
+    def test_resilience_family(self):
+        assert issubclass(errors.BudgetExceededError, errors.ResilienceError)
+        assert issubclass(errors.CircuitOpenError, errors.ResilienceError)
+        assert issubclass(errors.InjectedFaultError, errors.ResilienceError)
+        # Budget overruns are timeouts: standard-library handlers that
+        # catch TimeoutError must see them.
+        assert issubclass(errors.BudgetExceededError, TimeoutError)
+
+    def test_stdlib_mixins_preserved(self):
+        assert issubclass(errors.InvalidIntervalError, ValueError)
+        assert issubclass(errors.HTLTypeError, TypeError)
+        assert issubclass(errors.UnknownLevelError, KeyError)
+        assert issubclass(errors.SQLExecutionError, RuntimeError)
+
+
+class TestDocumentedAttributes:
+    def test_htl_syntax_error_position(self):
+        error = errors.HTLSyntaxError("bad token", line=3, column=9)
+        assert error.line == 3
+        assert error.column == 9
+        assert "line 3" in str(error)
+
+    def test_sql_syntax_error_position(self):
+        error = errors.SQLSyntaxError("bad token", line=2, column=4)
+        assert error.line == 2
+        assert error.column == 4
+
+    def test_budget_error_attributes(self):
+        error = errors.BudgetExceededError(
+            "too slow", site="atom-scoring", steps=512, elapsed_ms=81.5
+        )
+        assert error.site == "atom-scoring"
+        assert error.steps == 512
+        assert error.elapsed_ms == pytest.approx(81.5)
+        assert "atom-scoring" in str(error)
+
+    def test_circuit_open_error_names_breaker(self):
+        error = errors.CircuitOpenError("refused", breaker="engine")
+        assert error.breaker == "engine"
+
+    def test_injected_fault_attributes(self):
+        error = errors.InjectedFaultError(
+            "chaos", site="list-merge", sequence=4
+        )
+        assert error.site == "list-merge"
+        assert error.sequence == 4
+
+
+class TestInvariantRejection:
+    """Each similarity-list invariant violation raises the typed error.
+
+    The suite runs with CHECK_INVARIANTS on (tests/conftest.py), so plain
+    construction through from_raw must catch all of these; validate()
+    covers the gate-off path and is exercised in tests/test_faults.py.
+    """
+
+    def test_overlapping_intervals_rejected(self):
+        entries = [
+            SimEntry(Interval(1, 5), 2.0),
+            SimEntry(Interval(4, 8), 2.0),
+        ]
+        with pytest.raises(errors.SimilarityListInvariantError):
+            SimilarityList.from_raw(entries, 4.0)
+
+    def test_unsorted_entries_rejected(self):
+        entries = [
+            SimEntry(Interval(6, 8), 2.0),
+            SimEntry(Interval(1, 2), 2.0),
+        ]
+        with pytest.raises(errors.SimilarityListInvariantError):
+            SimilarityList.from_raw(entries, 4.0)
+
+    def test_non_positive_actual_rejected(self):
+        with pytest.raises(errors.SimilarityListInvariantError):
+            SimilarityList.from_raw([SimEntry(Interval(1, 1), 0.0)], 4.0)
+        with pytest.raises(errors.SimilarityListInvariantError):
+            SimilarityList.from_raw([SimEntry(Interval(1, 1), -2.0)], 4.0)
+
+    def test_actual_above_maximum_rejected(self):
+        with pytest.raises(errors.SimilarityListInvariantError):
+            SimilarityList.from_raw([SimEntry(Interval(1, 1), 9.0)], 4.0)
+
+    def test_non_positive_maximum_rejected(self):
+        with pytest.raises(errors.SimilarityListInvariantError):
+            SimilarityList.from_raw((), 0.0)
+
+    def test_validate_returns_self_on_well_formed_lists(self):
+        sim = SimilarityList.from_entries([((1, 3), 2.0)], 4.0)
+        assert sim.validate() is sim
