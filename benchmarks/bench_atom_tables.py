@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench import stages
+from repro.bench.reporting import write_report_json
 from repro.core.engine import EngineConfig, RetrievalEngine
 from repro.htl import parse
 from repro.model.hierarchy import flat_video
@@ -183,7 +184,7 @@ def test_atom_table_construction(report):
         "required_speedup_sparse": REQUIRED_SPEEDUP,
         "configs": results,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_report_json(RESULTS_PATH, payload)
 
 
 def test_stage_breakdown(report):
@@ -233,4 +234,4 @@ def test_stage_breakdown(report):
     if RESULTS_PATH.exists():
         payload = json.loads(RESULTS_PATH.read_text())
         payload["stage_breakdown"] = breakdown
-        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        write_report_json(RESULTS_PATH, payload)

@@ -26,6 +26,7 @@ import random
 import time
 from pathlib import Path
 
+from repro.bench.reporting import write_report_json
 from repro.core import instrument, resilience
 from repro.core.engine import RetrievalEngine
 from repro.core.topk import top_k_across_videos
@@ -77,7 +78,7 @@ def _write_payload(key, value):
     )
     payload["quick"] = QUICK
     payload[key] = value
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_report_json(RESULTS_PATH, payload)
 
 
 def test_budget_check_overhead(report):

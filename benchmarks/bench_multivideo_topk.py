@@ -25,6 +25,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench.reporting import write_report_json
 from repro.core.cache import EvaluationCache
 from repro.core.engine import RetrievalEngine
 from repro.core.simlist import set_invariant_checks
@@ -151,7 +152,7 @@ def test_multivideo_topk_fast_path(corpus, report):
         },
         "rankings_identical": True,
     }
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    write_report_json(RESULTS_PATH, payload)
 
 
 def test_invariant_check_overhead(report):

@@ -9,7 +9,9 @@ the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+import json
+import os
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.simlist import SimilarityList
 from repro.core.topk import ranked_entries
@@ -33,6 +35,25 @@ def format_table(
     body = [line(headers), separator]
     body.extend(line(row) for row in materialised)
     return "\n".join(body)
+
+
+def write_report_json(
+    path: Union[str, "os.PathLike[str]"], payload: Any
+) -> None:
+    """Write a ``BENCH_*.json`` report atomically.
+
+    Benchmarks accumulate into their report file across tests; a crash
+    (or a CI timeout) mid-write must never leave a truncated JSON file
+    that poisons the next merge-and-rewrite.  Goes through the store's
+    temp + rename primitive; reports skip the fsync — they are
+    regenerable, the atomicity is what matters.
+    """
+    from repro.store.atomic import atomic_write_bytes
+
+    data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+    atomic_write_bytes(path, data, fsync=False)
 
 
 def similarity_table_text(

@@ -39,6 +39,10 @@ from repro.errors import (
     SQLError,
     SQLExecutionError,
     SQLSyntaxError,
+    StoreCorruptionError,
+    StoreError,
+    StoreVersionError,
+    StoreWriteError,
     UnknownLevelError,
     UnsupportedFormulaError,
     WorkloadError,
@@ -82,6 +86,10 @@ EXIT_CODES = {
     BudgetExceededError: 20,
     CircuitOpenError: 21,
     InjectedFaultError: 22,
+    StoreError: 23,
+    StoreWriteError: 24,
+    StoreCorruptionError: 25,
+    StoreVersionError: 26,
 }
 
 
@@ -242,6 +250,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     commands.add_parser("datasets", help="list built-in datasets")
+
+    store_cmd = commands.add_parser(
+        "store", help="manage the crash-safe on-disk snapshot store"
+    )
+    store_actions = store_cmd.add_subparsers(
+        dest="store_command", required=True
+    )
+
+    def _store_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir",
+            dest="store_dir",
+            required=True,
+            help="store root directory",
+        )
+
+    store_save = store_actions.add_parser(
+        "save", help="snapshot a dataset into the store"
+    )
+    _store_common(store_save)
+    store_save.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default="casablanca",
+        help="built-in dataset to snapshot (default: casablanca)",
+    )
+    store_save.add_argument(
+        "--keep",
+        type=_positive_int,
+        default=2,
+        help="snapshots to retain after the save (default: 2)",
+    )
+
+    store_load = store_actions.add_parser(
+        "load", help="load the newest intact snapshot (with recovery)"
+    )
+    _store_common(store_load)
+    store_load.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip digest verification (structural checks remain)",
+    )
+
+    store_verify = store_actions.add_parser(
+        "verify", help="read-only integrity check of every snapshot"
+    )
+    _store_common(store_verify)
+
+    store_repair = store_actions.add_parser(
+        "repair", help="quarantine damage and rewrite the manifest"
+    )
+    _store_common(store_repair)
+    store_repair.add_argument(
+        "--keep",
+        type=_positive_int,
+        default=2,
+        help="intact snapshots to retain (default: 2)",
+    )
     return parser
 
 
@@ -376,6 +442,61 @@ def cmd_sql(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_store(arguments: argparse.Namespace) -> int:
+    from repro.store import Store
+
+    store = Store(arguments.store_dir, keep=getattr(arguments, "keep", 2))
+    if arguments.store_command == "save":
+        __, loader = _DATASETS[arguments.dataset]
+        info = store.save(loader())
+        print(f"saved {info.snapshot_id} at {info.path}")
+        for name in sorted(info.artifacts):
+            entry = info.artifacts[name]
+            print(f"  {name}  {entry['bytes']} bytes  {entry['sha256'][:12]}")
+        if info.pruned:
+            print(f"pruned: {', '.join(info.pruned)}")
+        return 0
+    if arguments.store_command == "load":
+        loaded = store.load(verify=not arguments.no_verify)
+        database = loaded.database
+        print(
+            f"loaded {loaded.snapshot_id}"
+            f" ({'verified' if loaded.verified else 'unverified'}):"
+            f" {len(database)} video(s),"
+            f" {len(database.atomic_names())} atomic predicate(s)"
+        )
+        for action in loaded.actions:
+            where = (
+                f"{action.snapshot}/{action.artifact}"
+                if action.snapshot
+                else action.artifact
+            )
+            print(f"  recovery: {action.kind} {where}  {action.detail}")
+        return 0
+    if arguments.store_command == "verify":
+        report = store.verify()
+        for status in report.statuses:
+            marker = "ok" if not status.damaged else status.status
+            print(f"  {status.snapshot}/{status.artifact}: {marker}")
+        for name in report.unreferenced:
+            print(f"  unreferenced snapshot: {name}")
+        for stray in report.stray_files:
+            print(f"  stray temp file: {stray}")
+        if not report.manifest_ok:
+            print(f"  manifest: {report.manifest_detail}")
+        print(f"store {'OK' if report.ok else 'DAMAGED'}")
+        return 0 if report.ok else 1
+    outcome = store.repair()
+    for action in outcome.actions:
+        print(f"  quarantined: {action.quarantined_to or action.artifact}")
+    print(
+        f"repaired: current={outcome.current}, "
+        f"retained=[{', '.join(outcome.retained)}], "
+        f"dropped=[{', '.join(outcome.dropped)}]"
+    )
+    return 0
+
+
 def cmd_datasets(arguments: argparse.Namespace) -> int:
     for key in sorted(_DATASETS):
         video_name, loader = _DATASETS[key]
@@ -408,6 +529,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "sql": cmd_sql,
         "datasets": cmd_datasets,
+        "store": cmd_store,
     }
     try:
         return handlers[arguments.command](arguments)

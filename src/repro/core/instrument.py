@@ -39,6 +39,17 @@ BREAKER_OPENED = "breaker-opened"
 BREAKER_RECOVERED = "breaker-recovered"
 FAULT_INJECTED = "fault-injected"
 
+#: Canonical event-counter names of the durable store (DESIGN.md §9).
+#: Every recovery action the store takes is surfaced here, so an
+#: operator can tell "loaded clean" from "loaded after quarantining a
+#: rotten artifact and falling back one snapshot".
+STORE_SNAPSHOT_SAVED = "store-snapshot-saved"
+STORE_SNAPSHOT_LOADED = "store-snapshot-loaded"
+STORE_ARTIFACT_QUARANTINED = "store-artifact-quarantined"
+STORE_SNAPSHOT_FALLBACK = "store-snapshot-fallback"
+STORE_INDEX_REBUILT = "store-index-rebuilt"
+STORE_MANIFEST_RECOVERED = "store-manifest-recovered"
+
 _enabled = False
 _lock = threading.Lock()
 

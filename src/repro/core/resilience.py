@@ -62,12 +62,22 @@ SITE_INDEX_LOOKUP = "index-lookup"
 SITE_ATOM_SCORE = "atom-score"
 SITE_LIST_MERGE = "list-merge"
 SITE_TOPK_WORKER = "topk-worker"
+#: Disk fault sites of :mod:`repro.store` (DESIGN.md §9): the write of a
+#: snapshot temp file, the fsync/rename that makes it durable, and every
+#: artifact read on the load path.  ``corrupt`` at the read site flips
+#: bits in the bytes coming off "disk" — the injector's model of rot.
+SITE_STORE_WRITE = "store-write"
+SITE_STORE_FSYNC = "store-fsync"
+SITE_STORE_READ = "store-read"
 
 FAULT_SITES = (
     SITE_INDEX_LOOKUP,
     SITE_ATOM_SCORE,
     SITE_LIST_MERGE,
     SITE_TOPK_WORKER,
+    SITE_STORE_WRITE,
+    SITE_STORE_FSYNC,
+    SITE_STORE_READ,
 )
 
 #: The installed fault hook (``None`` in production).  A hook is an object

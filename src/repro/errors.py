@@ -149,3 +149,49 @@ class InjectedFaultError(ResilienceError):
         self.site = site
         self.sequence = sequence
         super().__init__(message)
+
+
+class StoreError(ReproError):
+    """Base class for the crash-safe on-disk store (:mod:`repro.store`).
+
+    ``path`` points at the store root (or the specific file) the failure
+    concerns, when known.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        super().__init__(message)
+
+
+class StoreWriteError(StoreError):
+    """A snapshot write failed before the manifest commit point.
+
+    The store on disk is untouched by a failed save: the previous
+    manifest still names the previous intact snapshot, and only
+    unreferenced partial files (cleaned by ``repair``) remain from the
+    aborted one.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """No intact snapshot could be loaded (truncation, bit rot, torn write).
+
+    ``artifact`` names the damaged artifact (``<snapshot-id>/<file>``)
+    first detected; ``quarantined`` lists where load moved the damaged
+    files — they are preserved, never deleted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "",
+        artifact: str = "",
+        quarantined: tuple = (),
+    ):
+        self.artifact = artifact
+        self.quarantined = tuple(quarantined)
+        super().__init__(message, path=path)
+
+
+class StoreVersionError(StoreError):
+    """The on-disk store carries a format version this build cannot read."""

@@ -82,6 +82,21 @@ class VideoNode:
         for node in self.walk():
             node._pictures = None
 
+    def install_pictures(
+        self, level: int, system: "PictureRetrievalSystem"
+    ) -> None:
+        """Install a prebuilt picture system for one level (warm start).
+
+        The store's load path uses this to hand a restored metadata
+        index to the engine without re-deriving it.  The caller
+        guarantees the system was built over exactly the metadata of
+        ``descendants_at_level(level)``; ``add_child`` invalidates it
+        like any cached system.
+        """
+        if self._pictures is None:
+            self._pictures = {}
+        self._pictures[level] = system
+
     def is_leaf(self) -> bool:
         return not self.children
 

@@ -10,10 +10,11 @@ precomputed similarity tables can be shipped with experiments.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
-from repro.core.simlist import SimilarityList
-from repro.errors import ModelError
+from repro.core.simlist import SimilarityList, SimilarityValue
+from repro.errors import ModelError, ReproError
 from repro.model.database import VideoDatabase
 from repro.model.hierarchy import Video, VideoNode
 from repro.model.metadata import (
@@ -24,6 +25,28 @@ from repro.model.metadata import (
 )
 
 FORMAT_VERSION = 1
+
+#: JSON values an attribute may carry (bool is admitted as an int).
+_SCALAR_TYPES = (str, int, float)
+
+
+@contextmanager
+def _trust_boundary(what: str) -> Iterator[None]:
+    """Convert structural junk into a typed :class:`ModelError`.
+
+    The ``*_from_dict`` constructors accept payloads from outside the
+    process (files, network); a missing key, wrong type, or malformed
+    nesting must surface as a typed error, never as a raw ``KeyError``
+    or a silently corrupt object.  Typed :class:`ReproError` subclasses
+    (metadata/hierarchy/similarity invariant violations) pass through
+    untouched.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except Exception as error:
+        raise ModelError(f"malformed {what} payload: {error!r}") from error
 
 
 # ---------------------------------------------------------------------------
@@ -39,10 +62,20 @@ def simlist_to_dict(sim: SimilarityList) -> Dict[str, Any]:
 
 
 def simlist_from_dict(payload: Dict[str, Any]) -> SimilarityList:
-    return SimilarityList.from_entries(
-        [((int(b), int(e)), float(a)) for b, e, a in payload["entries"]],
-        float(payload["maximum"]),
-    )
+    """Rebuild a similarity list from an untrusted payload.
+
+    Every entry is routed through the :class:`SimilarityValue` range
+    gate (so a negative or above-maximum actual raises instead of being
+    silently normalised away) and the rebuilt list runs the full
+    invariant scan regardless of the global gate.
+    """
+    with _trust_boundary("similarity-list"):
+        maximum = float(payload["maximum"])
+        entries = []
+        for begin, end, actual in payload["entries"]:
+            SimilarityValue(float(actual), maximum)  # range gate
+            entries.append(((int(begin), int(end)), float(actual)))
+    return SimilarityList.from_entries(entries, maximum).validate()
 
 
 # ---------------------------------------------------------------------------
@@ -56,7 +89,18 @@ def _fact_to_json(fact: Fact) -> Any:
 
 def _fact_from_json(payload: Any) -> Any:
     if isinstance(payload, dict) and "value" in payload:
-        return Fact(payload["value"], float(payload.get("confidence", 1.0)))
+        value = payload["value"]
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ModelError(
+                f"attribute value must be a string or number, got "
+                f"{type(value).__name__}"
+            )
+        return Fact(value, float(payload.get("confidence", 1.0)))
+    if not isinstance(payload, _SCALAR_TYPES):
+        raise ModelError(
+            f"attribute value must be a string or number, got "
+            f"{type(payload).__name__}"
+        )
     return payload
 
 
@@ -92,33 +136,36 @@ def segment_to_dict(segment: SegmentMetadata) -> Dict[str, Any]:
 
 
 def segment_from_dict(document: Dict[str, Any]) -> SegmentMetadata:
-    attributes = {
-        name: _fact_from_json(value)
-        for name, value in document.get("attributes", {}).items()
-    }
-    objects = [
-        ObjectInstance(
-            item["id"],
-            item["type"],
-            {
-                name: _fact_from_json(value)
-                for name, value in item.get("attributes", {}).items()
-            },
-            float(item.get("confidence", 1.0)),
+    with _trust_boundary("segment-metadata"):
+        attributes = {
+            str(name): _fact_from_json(value)
+            for name, value in document.get("attributes", {}).items()
+        }
+        objects = [
+            ObjectInstance(
+                str(item["id"]),
+                str(item["type"]),
+                {
+                    str(name): _fact_from_json(value)
+                    for name, value in item.get("attributes", {}).items()
+                },
+                float(item.get("confidence", 1.0)),
+            )
+            for item in document.get("objects", [])
+        ]
+        relationships = [
+            Relationship(
+                str(item["name"]),
+                tuple(item["args"]),
+                float(item.get("confidence", 1.0)),
+            )
+            for item in document.get("relationships", [])
+        ]
+        return SegmentMetadata(
+            attributes=attributes,
+            objects=objects,
+            relationships=relationships,
         )
-        for item in document.get("objects", [])
-    ]
-    relationships = [
-        Relationship(
-            item["name"],
-            tuple(item["args"]),
-            float(item.get("confidence", 1.0)),
-        )
-        for item in document.get("relationships", [])
-    ]
-    return SegmentMetadata(
-        attributes=attributes, objects=objects, relationships=relationships
-    )
 
 
 # ---------------------------------------------------------------------------
@@ -151,20 +198,32 @@ def video_to_dict(video: Video) -> Dict[str, Any]:
 
 
 def video_from_dict(document: Dict[str, Any]) -> Video:
-    return Video(
-        name=document["name"],
-        root=_node_from_dict(document["root"]),
-        level_names={
-            int(level): name
-            for level, name in document.get("level_names", {}).items()
-        },
-    )
+    with _trust_boundary("video"):
+        name = document["name"]
+        if not isinstance(name, str) or not name:
+            raise ModelError(
+                f"video name must be a non-empty string, got {name!r}"
+            )
+        root = _node_from_dict(document["root"])
+        level_names = {
+            int(level): str(level_name)
+            for level, level_name in document.get("level_names", {}).items()
+        }
+        # Video construction runs the hierarchy invariant checks
+        # (uniform leaf depth, level-name consistency).
+        return Video(name=name, root=root, level_names=level_names)
 
 
 # ---------------------------------------------------------------------------
 # whole databases
 # ---------------------------------------------------------------------------
-def database_to_dict(database: VideoDatabase) -> Dict[str, Any]:
+def videos_to_list(database: VideoDatabase) -> List[Dict[str, Any]]:
+    """The video documents of a database, in insertion order."""
+    return [video_to_dict(video) for video in database.videos()]
+
+
+def atomics_to_list(database: VideoDatabase) -> List[Dict[str, Any]]:
+    """The registered atomic similarity lists of a database, as documents."""
     atomics = []
     for name in database.atomic_names():
         for video in database.videos():
@@ -179,31 +238,54 @@ def database_to_dict(database: VideoDatabase) -> Dict[str, Any]:
                             "list": simlist_to_dict(sim),
                         }
                     )
+    return atomics
+
+
+def database_to_dict(database: VideoDatabase) -> Dict[str, Any]:
     return {
         "format": FORMAT_VERSION,
-        "videos": [video_to_dict(video) for video in database.videos()],
-        "atomics": atomics,
+        "videos": videos_to_list(database),
+        "atomics": atomics_to_list(database),
     }
 
 
-def database_from_dict(document: Dict[str, Any]) -> VideoDatabase:
-    version = document.get("format")
-    if version != FORMAT_VERSION:
-        raise ModelError(
-            f"unsupported database format {version!r}; "
-            f"this build reads version {FORMAT_VERSION}"
-        )
+def database_from_parts(
+    videos: List[Dict[str, Any]], atomics: List[Dict[str, Any]]
+) -> VideoDatabase:
+    """Rebuild a database from separate video and atomic documents.
+
+    The store persists the two as independent artifacts (so each can be
+    verified and quarantined on its own); this is their common loader.
+    """
     database = VideoDatabase()
-    for video_document in document.get("videos", []):
-        database.add(video_from_dict(video_document))
-    for atomic in document.get("atomics", []):
-        database.register_atomic(
-            atomic["predicate"],
-            atomic["video"],
-            simlist_from_dict(atomic["list"]),
-            level=int(atomic.get("level", 2)),
-        )
+    with _trust_boundary("video-database"):
+        for video_document in videos:
+            database.add(video_from_dict(video_document))
+        for atomic in atomics:
+            database.register_atomic(
+                str(atomic["predicate"]),
+                str(atomic["video"]),
+                simlist_from_dict(atomic["list"]),
+                level=int(atomic.get("level", 2)),
+            )
     return database
+
+
+def database_from_dict(document: Dict[str, Any]) -> VideoDatabase:
+    with _trust_boundary("video-database"):
+        version = document.get("format")
+        if version != FORMAT_VERSION:
+            raise ModelError(
+                f"unsupported database format {version!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        videos = document.get("videos", [])
+        atomics = document.get("atomics", [])
+        if not isinstance(videos, list) or not isinstance(atomics, list):
+            raise ModelError(
+                "database payload must carry 'videos' and 'atomics' lists"
+            )
+    return database_from_parts(videos, atomics)
 
 
 def dump_database(database: VideoDatabase, path: str) -> None:

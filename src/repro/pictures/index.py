@@ -19,8 +19,9 @@ reuse a score across same-profile segments without re-probing anything.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
+from repro.errors import ModelError
 from repro.model.metadata import AttrValue, SegmentMetadata
 
 #: The shared empty postings tuple.
@@ -174,6 +175,99 @@ class MetadataIndex:
         reordering, hence equal scores for every atom, binding and pool.
         """
         return self._segment_profiles
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe document of every postings structure.
+
+        The store persists this next to the metadata it was derived from
+        so a warm start can skip index construction; round-trip safe:
+        ``from_dict(to_dict()).to_dict() == to_dict()``.
+        """
+        return {
+            "n_segments": self.n_segments,
+            "by_object": {
+                key: list(ids) for key, ids in self._by_object.items()
+            },
+            "by_type": {key: list(ids) for key, ids in self._by_type.items()},
+            "by_relationship": {
+                key: list(ids) for key, ids in self._by_relationship.items()
+            },
+            # Tuple keys are not JSON keys; entries are (name, value, ids)
+            # triples in a deterministic order.
+            "by_segment_attr": sorted(
+                (
+                    [name, value, list(ids)]
+                    for (name, value), ids in self._by_segment_attr.items()
+                ),
+                key=repr,
+            ),
+            "by_attr_name": {
+                key: list(ids) for key, ids in self._by_attr_name.items()
+            },
+            "with_any_object": list(self._with_any_object),
+            "objects_of_type": {
+                key: list(ids) for key, ids in self._objects_of_type.items()
+            },
+            "segment_profiles": list(self._segment_profiles),
+            "n_profiles": self.n_profiles,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "MetadataIndex":
+        """Rebuild an index from :meth:`to_dict` output (untrusted).
+
+        Structural junk raises a typed :class:`~repro.errors.ModelError`;
+        the caller (the store's load path) treats that as corruption and
+        rebuilds from the surviving metadata instead.
+        """
+        try:
+            index = cls.__new__(cls)
+            index.n_segments = int(document["n_segments"])
+            index._by_object = {
+                str(key): tuple(int(i) for i in ids)
+                for key, ids in document["by_object"].items()
+            }
+            index._by_type = {
+                str(key): tuple(int(i) for i in ids)
+                for key, ids in document["by_type"].items()
+            }
+            index._by_relationship = {
+                str(key): tuple(int(i) for i in ids)
+                for key, ids in document["by_relationship"].items()
+            }
+            index._by_segment_attr = {}
+            for name, value, ids in document["by_segment_attr"]:
+                index._by_segment_attr[(str(name), value)] = tuple(
+                    int(i) for i in ids
+                )
+            index._by_attr_name = {
+                str(key): tuple(int(i) for i in ids)
+                for key, ids in document["by_attr_name"].items()
+            }
+            index._with_any_object = tuple(
+                int(i) for i in document["with_any_object"]
+            )
+            index._objects_of_type = {
+                str(key): [str(i) for i in ids]
+                for key, ids in document["objects_of_type"].items()
+            }
+            index._segment_profiles = tuple(
+                int(p) for p in document["segment_profiles"]
+            )
+            index.n_profiles = int(document["n_profiles"])
+        except ModelError:
+            raise
+        except Exception as error:
+            raise ModelError(
+                f"malformed metadata-index payload: {error!r}"
+            ) from error
+        if len(index._segment_profiles) != index.n_segments:
+            raise ModelError(
+                f"metadata-index payload carries {len(index._segment_profiles)} "
+                f"segment profiles for {index.n_segments} segments"
+            )
+        return index
 
     # -- object universe ------------------------------------------------------
     def all_object_ids(self) -> List[str]:

@@ -1,0 +1,63 @@
+"""Crash-safe persistence for video databases (DESIGN.md §9).
+
+Public surface:
+
+* :class:`Store` — atomic checksummed snapshots with
+  ``save`` / ``load`` / ``verify`` / ``repair``.
+* :func:`atomic_write_bytes` / :func:`atomic_write_json` — the
+  temp + fsync + rename primitive every durable artifact goes through
+  (also used by the benchmark reports).
+* The result records (:class:`StoreLoad`, :class:`VerifyReport`,
+  :class:`RepairReport`, :class:`SnapshotInfo`, :class:`RecoveryAction`,
+  :class:`ArtifactStatus`) carrying recovery provenance.
+"""
+
+from repro.store.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_json_bytes,
+    fsync_directory,
+    sha256_hex,
+)
+from repro.store.store import (
+    ATOMICS_ARTIFACT,
+    DERIVED_ARTIFACTS,
+    INDEX_ARTIFACT,
+    MANIFEST_NAME,
+    REQUIRED_ARTIFACTS,
+    SNAPSHOT_MANIFEST,
+    STORE_FORMAT_VERSION,
+    VIDEOS_ARTIFACT,
+    ArtifactStatus,
+    RecoveryAction,
+    RepairReport,
+    SnapshotInfo,
+    Store,
+    StoreLoad,
+    VerifyReport,
+    default_level,
+)
+
+__all__ = [
+    "ATOMICS_ARTIFACT",
+    "DERIVED_ARTIFACTS",
+    "INDEX_ARTIFACT",
+    "MANIFEST_NAME",
+    "REQUIRED_ARTIFACTS",
+    "SNAPSHOT_MANIFEST",
+    "STORE_FORMAT_VERSION",
+    "VIDEOS_ARTIFACT",
+    "ArtifactStatus",
+    "RecoveryAction",
+    "RepairReport",
+    "SnapshotInfo",
+    "Store",
+    "StoreLoad",
+    "VerifyReport",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "canonical_json_bytes",
+    "default_level",
+    "fsync_directory",
+    "sha256_hex",
+]

@@ -59,15 +59,19 @@ class FaultSpec:
 
     ``rate`` is the per-visit probability of firing (1.0 fires on every
     visit); ``max_faults`` caps the total number of firings so a run can
-    be perturbed without being starved.  ``delay_ms`` applies to
-    :data:`DELAY` mode only — it burns real wall-clock, which is how
-    deadline tests force a timeout at a precise site.
+    be perturbed without being starved.  ``skip`` makes the first N
+    visits of the site immune, which is how the store's crash-recovery
+    sweep aims a single fault at the k-th write step of a save.
+    ``delay_ms`` applies to :data:`DELAY` mode only — it burns real
+    wall-clock, which is how deadline tests force a timeout at a precise
+    site.
     """
 
     site: str
     mode: str = RAISE
     rate: float = 1.0
     max_faults: Optional[int] = None
+    skip: int = 0
     delay_ms: float = 1.0
     message: str = ""
 
@@ -87,6 +91,8 @@ class FaultSpec:
             raise ValueError(
                 f"max_faults must be >= 0, got {self.max_faults}"
             )
+        if self.skip < 0:
+            raise ValueError(f"skip must be >= 0, got {self.skip}")
         if self.delay_ms < 0:
             raise ValueError(f"delay_ms must be >= 0, got {self.delay_ms}")
 
@@ -119,6 +125,29 @@ def corrupt_similarity_list(
     return SimilarityList.from_raw(bad, sim.maximum)
 
 
+def corrupt_bytes(data: bytes, rng: random.Random) -> bytes:
+    """A damaged variant of ``data``: bit flip, truncation, or garbage.
+
+    Models the disk failures the store must detect (DESIGN.md §9) —
+    single-bit rot, a torn/short read, and an overwritten region.  The
+    result always differs from the input, so a checksummed read is
+    guaranteed to notice.
+    """
+    if not data:
+        return b"\x00"
+    choice = rng.randrange(3)
+    if choice == 0:  # flip one bit
+        position = rng.randrange(len(data))
+        flipped = data[position] ^ (1 << rng.randrange(8))
+        return data[:position] + bytes([flipped]) + data[position + 1 :]
+    if choice == 1:  # truncate (torn write / short read)
+        return data[: rng.randrange(len(data))]
+    position = rng.randrange(len(data))  # overwrite a region with garbage
+    garbage = bytes(rng.randrange(256) for __ in range(8))
+    damaged = data[:position] + garbage + data[position + 8 :]
+    return damaged if damaged != data else damaged + b"\x00"
+
+
 class FaultInjector:
     """The seeded switchboard installed via
     :func:`repro.core.resilience.set_fault_hook`.
@@ -145,8 +174,13 @@ class FaultInjector:
         with self._lock:
             return sum(1 for s, __, ___ in self.injected if s == site)
 
-    def _should_fire(self, index: int, spec: FaultSpec) -> bool:
-        """Decide one visit under the lock: rate draw + max_faults cap."""
+    def _should_fire(
+        self, index: int, spec: FaultSpec, sequence: int
+    ) -> bool:
+        """Decide one visit under the lock: skip window + rate draw +
+        max_faults cap."""
+        if sequence <= spec.skip:
+            return False
         fired = self._fired.get(index, 0)
         if spec.max_faults is not None and fired >= spec.max_faults:
             return False
@@ -163,7 +197,7 @@ class FaultInjector:
             for index, spec in enumerate(self.specs):
                 if spec.site != site or spec.mode not in wanted_modes:
                     continue
-                if self._should_fire(index, spec):
+                if self._should_fire(index, spec, sequence):
                     self.injected.append((site, sequence, spec.mode))
                     instrument.count(instrument.FAULT_INJECTED)
                     return spec, sequence
@@ -183,14 +217,21 @@ class FaultInjector:
         raise InjectedFaultError(message, site=site, sequence=sequence)
 
     def corrupt(self, site: str, value: Any) -> Any:
-        """Corrupt a value flowing through a site (hook protocol)."""
-        if not isinstance(value, SimilarityList):
+        """Corrupt a value flowing through a site (hook protocol).
+
+        Similarity lists become invariant-violating lists; ``bytes``
+        (the store's read path) suffer a deterministic bit flip or
+        truncation.  Other value types pass through untouched.
+        """
+        if not isinstance(value, (SimilarityList, bytes, bytearray)):
             return value
         armed = self._arm(site, (CORRUPT,))
         if armed is None:
             return value
         with self._lock:
-            return corrupt_similarity_list(value, self._random)
+            if isinstance(value, SimilarityList):
+                return corrupt_similarity_list(value, self._random)
+            return corrupt_bytes(bytes(value), self._random)
 
 
 @contextmanager

@@ -214,3 +214,85 @@ class TestDatasets:
         assert "casablanca" in out
         assert "gulf-war" in out
         assert "Moving-Train" in out
+
+
+class TestStore:
+    def test_save_verify_load_workflow(self, capsys, tmp_path):
+        root = str(tmp_path / "store")
+        code, out, __ = run_cli(
+            capsys, "store", "save", "--dir", root, "--dataset", "western"
+        )
+        assert code == 0
+        assert "saved snap-000001" in out
+
+        code, out, __ = run_cli(capsys, "store", "verify", "--dir", root)
+        assert code == 0
+        assert "store OK" in out
+
+        code, out, __ = run_cli(capsys, "store", "load", "--dir", root)
+        assert code == 0
+        assert "loaded snap-000001 (verified)" in out
+
+    def test_load_reports_recovery_actions(self, capsys, tmp_path):
+        import os
+
+        root = str(tmp_path / "store")
+        run_cli(capsys, "store", "save", "--dir", root)
+        run_cli(capsys, "store", "save", "--dir", root)
+        victim = os.path.join(
+            root, "snapshots", "snap-000002", "videos.json"
+        )
+        data = open(victim, "rb").read()
+        open(victim, "wb").write(data[: len(data) // 2])
+
+        code, out, __ = run_cli(capsys, "store", "verify", "--dir", root)
+        assert code == 1
+        assert "DAMAGED" in out
+
+        code, out, __ = run_cli(capsys, "store", "load", "--dir", root)
+        assert code == 0
+        assert "loaded snap-000001" in out
+        assert "recovery: quarantined" in out
+
+        code, out, __ = run_cli(capsys, "store", "repair", "--dir", root)
+        assert code == 0
+        assert "repaired" in out
+        code, out, __ = run_cli(capsys, "store", "verify", "--dir", root)
+        assert code == 0
+
+    def test_empty_store_maps_to_store_exit_code(self, capsys, tmp_path):
+        code, __, err = run_cli(
+            capsys, "store", "load", "--dir", str(tmp_path / "nothing")
+        )
+        assert code == EXIT_CODES[errors.StoreError]
+        assert "error:" in err
+
+    def test_corrupt_store_maps_to_corruption_exit_code(
+        self, capsys, tmp_path
+    ):
+        import os
+
+        root = str(tmp_path / "store")
+        run_cli(capsys, "store", "save", "--dir", root)
+        victim = os.path.join(
+            root, "snapshots", "snap-000001", "videos.json"
+        )
+        data = open(victim, "rb").read()
+        open(victim, "wb").write(data[: len(data) // 2])
+        code, __, err = run_cli(capsys, "store", "load", "--dir", root)
+        assert code == EXIT_CODES[errors.StoreCorruptionError]
+        assert "no intact snapshot" in err
+
+    def test_unverified_load(self, capsys, tmp_path):
+        root = str(tmp_path / "store")
+        run_cli(capsys, "store", "save", "--dir", root)
+        code, out, __ = run_cli(
+            capsys, "store", "load", "--dir", root, "--no-verify"
+        )
+        assert code == 0
+        assert "(unverified)" in out
+
+    def test_store_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store"])
+        assert excinfo.value.code == 2

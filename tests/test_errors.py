@@ -89,6 +89,28 @@ class TestDocumentedAttributes:
         assert error.site == "list-merge"
         assert error.sequence == 4
 
+    def test_store_family(self):
+        assert issubclass(errors.StoreWriteError, errors.StoreError)
+        assert issubclass(errors.StoreCorruptionError, errors.StoreError)
+        assert issubclass(errors.StoreVersionError, errors.StoreError)
+
+    def test_store_error_carries_path(self):
+        error = errors.StoreError("broken", path="/data/store")
+        assert error.path == "/data/store"
+
+    def test_store_corruption_error_names_the_damage(self):
+        error = errors.StoreCorruptionError(
+            "rot detected",
+            path="/data/store",
+            artifact="snap-000002/videos.json",
+            quarantined=["/data/store/quarantine/snap-000002__videos.json"],
+        )
+        assert error.path == "/data/store"
+        assert error.artifact == "snap-000002/videos.json"
+        assert error.quarantined == (
+            "/data/store/quarantine/snap-000002__videos.json",
+        )
+
 
 class TestInvariantRejection:
     """Each similarity-list invariant violation raises the typed error.

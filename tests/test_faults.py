@@ -169,6 +169,35 @@ class TestInjectorMechanics:
             injector.trip(resilience.SITE_LIST_MERGE)
         assert instrument.counters()[instrument.FAULT_INJECTED] == 1
 
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError, match="skip"):
+            FaultSpec(resilience.SITE_STORE_WRITE, skip=-1)
+
+    def test_skip_makes_first_visits_immune(self):
+        # skip=3: visits 1..3 pass clean, visit 4 is the first to fire.
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    resilience.SITE_STORE_WRITE, skip=3, max_faults=1
+                )
+            ],
+            seed=1,
+        )
+        for __ in range(3):
+            injector.trip(resilience.SITE_STORE_WRITE)  # must not raise
+        with pytest.raises(InjectedFaultError) as excinfo:
+            injector.trip(resilience.SITE_STORE_WRITE)
+        assert excinfo.value.sequence == 4
+        injector.trip(resilience.SITE_STORE_WRITE)  # max_faults=1 spent
+
+    def test_skip_beyond_visit_count_never_fires(self):
+        injector = FaultInjector(
+            [FaultSpec(resilience.SITE_STORE_WRITE, skip=100)], seed=1
+        )
+        for __ in range(10):
+            injector.trip(resilience.SITE_STORE_WRITE)
+        assert injector.injected == []
+
 
 class TestCorruptor:
     @pytest.mark.parametrize("seed", range(12))
@@ -190,6 +219,29 @@ class TestCorruptor:
                     bad.validate()
         finally:
             set_invariant_checks(previous)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_corrupted_bytes_always_differ(self, seed):
+        from repro.testing.faults import corrupt_bytes
+
+        rng = random.Random(seed)
+        for data in (b"", b"\x00", b'{"format": 1}', bytes(range(256))):
+            assert corrupt_bytes(data, rng) != data
+
+    def test_injector_corrupts_bytes_at_read_site(self):
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    resilience.SITE_STORE_READ, mode=CORRUPT, max_faults=1
+                )
+            ],
+            seed=9,
+        )
+        clean = b'{"videos": []}'
+        damaged = injector.corrupt(resilience.SITE_STORE_READ, clean)
+        assert isinstance(damaged, bytes) and damaged != clean
+        # The cap is spent: later reads pass through untouched.
+        assert injector.corrupt(resilience.SITE_STORE_READ, clean) == clean
 
 
 class TestChaosProperty:

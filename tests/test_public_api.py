@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.analyzer",
     "repro.workloads",
     "repro.bench",
+    "repro.store",
 ]
 
 
