@@ -1,14 +1,16 @@
 """Per-stage timing facade for benchmarks and ad-hoc profiling.
 
 Thin re-export of :mod:`repro.core.instrument` (the engine-side
-switchboard) plus a report renderer, so benchmark code can attribute a
-regression to atom scoring vs. list algebra vs. top-k without
+switchboard, itself a facade over the metrics registry of
+:mod:`repro.core.trace`) plus report renderers, so benchmark code can
+attribute a regression to atom scoring vs. list algebra vs. top-k without
 re-profiling:
 
     from repro.bench import stages
     stages.enable()
     ...run queries...
     print(stages.stage_report_text())
+    print(stages.latency_report_text())
 """
 
 from __future__ import annotations
@@ -17,13 +19,20 @@ from repro.bench.reporting import format_table
 from repro.core.instrument import (
     ATOM_SCORING,
     LIST_ALGEBRA,
+    QUERY_LATENCY,
     TOP_K,
+    VIDEO_LATENCY,
+    HistogramSummary,
     StageTotal,
     add,
     disable,
+    drain,
     enable,
+    histograms,
     is_enabled,
+    observe,
     reset,
+    snapshot,
     stage,
     totals,
 )
@@ -32,26 +41,55 @@ __all__ = [
     "ATOM_SCORING",
     "LIST_ALGEBRA",
     "TOP_K",
+    "QUERY_LATENCY",
+    "VIDEO_LATENCY",
     "StageTotal",
+    "HistogramSummary",
     "add",
     "disable",
+    "drain",
     "enable",
+    "histograms",
     "is_enabled",
+    "observe",
     "reset",
+    "snapshot",
     "stage",
     "totals",
     "stage_report_text",
+    "latency_report_text",
 ]
 
 
 def stage_report_text(title: str = "Per-stage timing") -> str:
     """The accumulated stage totals as an aligned text table."""
-    snapshot = totals()
+    stage_totals = totals()
     rows = [
         (name, f"{total.seconds:.4f}", total.calls)
-        for name, total in sorted(snapshot.items())
+        for name, total in sorted(stage_totals.items())
     ]
     if not rows:
         rows = [("(no stages recorded)", "-", "-")]
     table = format_table(("Stage", "Seconds", "Calls"), rows)
+    return f"{title}\n{table}"
+
+
+def latency_report_text(title: str = "Latency percentiles (ms)") -> str:
+    """The latency histograms as an aligned text table, or "" when none
+    have been recorded (histograms collect only while enabled)."""
+    summaries = histograms()
+    if not summaries:
+        return ""
+    rows = [
+        (
+            name,
+            summary.count,
+            f"{summary.p50 * 1000:.3f}",
+            f"{summary.p95 * 1000:.3f}",
+            f"{summary.p99 * 1000:.3f}",
+            f"{summary.maximum * 1000:.3f}",
+        )
+        for name, summary in sorted(summaries.items())
+    ]
+    table = format_table(("Histogram", "Count", "p50", "p95", "p99", "Max"), rows)
     return f"{title}\n{table}"

@@ -236,6 +236,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort the query after this many cooperative work steps",
     )
 
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="run a query with per-span profiling (the profiled twin of "
+        "explain)",
+    )
+    trace_cmd.add_argument("query", help="HTL query text")
+    trace_cmd.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default="casablanca",
+        help="built-in dataset (default: casablanca)",
+    )
+    trace_cmd.add_argument(
+        "--level",
+        default=None,
+        type=_level_argument,
+        help="level name or number to assert the query at (default: 2)",
+    )
+    trace_cmd.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        help="rank this many segments across the dataset (default: 5)",
+    )
+    trace_cmd.add_argument(
+        "--parallel",
+        type=_positive_int,
+        default=None,
+        help="evaluate videos on this many threads",
+    )
+    trace_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the trace and metrics as JSON instead of text",
+    )
+
     sql = commands.add_parser(
         "sql", help="show and optionally execute the SQL translation"
     )
@@ -425,6 +461,60 @@ def cmd_run(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.reporting import observability_payload
+    from repro.bench.stages import latency_report_text, stage_report_text
+    from repro.core import instrument, trace
+
+    video_name, loader = _DATASETS[arguments.dataset]
+    database: VideoDatabase = loader()
+    video = database.get(video_name)
+    formula = parse(arguments.query)
+    engine = RetrievalEngine()
+    level = _resolve_level(video, arguments.level)
+    was_enabled = instrument.is_enabled()
+    instrument.enable()
+    try:
+        results = top_k_across_videos(
+            engine,
+            formula,
+            database,
+            k=arguments.top,
+            level=level,
+            parallelism=arguments.parallel,
+            profile=True,
+        )
+        if arguments.json:
+            print(
+                json.dumps(
+                    observability_payload(results.profile),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+        print(trace.render_text(results.profile))
+        print()
+        print(stage_report_text())
+        latency = latency_report_text()
+        if latency:
+            print()
+            print(latency)
+    finally:
+        if not was_enabled:
+            instrument.disable()
+    print(f"\nTop {arguments.top} segments across "
+          f"{len(results.outcomes)} videos:")
+    for rank, segment in enumerate(results, start=1):
+        print(
+            f"  {rank}. {segment.video} segment {segment.segment_id}  "
+            f"{segment.actual:.3f}/{segment.maximum:g}"
+        )
+    return 0
+
+
 def cmd_sql(arguments: argparse.Namespace) -> int:
     formula = parse(arguments.query)
     workload = perf_workload(arguments.size, extra_predicates=2)
@@ -527,6 +617,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "classify": cmd_classify,
         "explain": cmd_explain,
         "run": cmd_run,
+        "trace": cmd_trace,
         "sql": cmd_sql,
         "datasets": cmd_datasets,
         "store": cmd_store,

@@ -20,8 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.core import extensions, instrument, ops, resilience
+from repro.core import extensions, ops, resilience, trace
 from repro.core.cache import EvaluationCache
+from repro.core.explain import describe_node
 from repro.core.simlist import SimilarityList, SimilarityValue
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
 from repro.core.value_tables import build_value_table, freeze_join
@@ -136,6 +137,56 @@ class RetrievalEngine:
         ``atomic_lists`` resolves :class:`~repro.htl.ast.AtomicRef` by name
         for this call; ``database`` resolves the rest via its registry.
         """
+        recorder = trace.current()
+        if recorder is None:
+            return self._evaluate_video(
+                formula, video, level, database, atomic_lists
+            )
+        with recorder.span(
+            trace.KIND_EVALUATE,
+            f"evaluate {video.name}",
+            video=video.name,
+            level=level,
+        ):
+            return self._evaluate_video(
+                formula, video, level, database, atomic_lists
+            )
+
+    def trace_video(
+        self,
+        formula: ast.Formula,
+        video: Video,
+        level: int = 2,
+        database: Optional[VideoDatabase] = None,
+        atomic_lists: Optional[Dict[str, SimilarityList]] = None,
+        recorder: Optional[trace.TraceRecorder] = None,
+    ) -> Tuple[SimilarityList, trace.Span]:
+        """Evaluate one video and return ``(similarity list, root span)``.
+
+        The traces-on-request entry point (DESIGN.md §10): installs a
+        recorder (a fresh one unless given), evaluates exactly like
+        :meth:`evaluate_video`, and hands back the span tree — one span
+        per subformula node, named with its ``explain`` plan description.
+        """
+        active = recorder if recorder is not None else trace.TraceRecorder()
+        with trace.recording(active):
+            sim = self.evaluate_video(
+                formula,
+                video,
+                level=level,
+                database=database,
+                atomic_lists=atomic_lists,
+            )
+        return sim, active.roots[-1]
+
+    def _evaluate_video(
+        self,
+        formula: ast.Formula,
+        video: Video,
+        level: int,
+        database: Optional[VideoDatabase],
+        atomic_lists: Optional[Dict[str, SimilarityList]],
+    ) -> SimilarityList:
         self._validate(formula)
         cache = self.cache
         use_cache = (
@@ -153,7 +204,9 @@ class RetrievalEngine:
             )
             hit = cache.get_list(key)
             if hit is not None:
+                trace.bump("cache-list-hit")
                 return hit
+            trace.bump("cache-list-miss")
         context = self._context(formula, video, level, database, atomic_lists)
         result = self._table(formula, context).closed_list()
         if use_cache and key is not None:
@@ -276,6 +329,15 @@ class RetrievalEngine:
             # responsive between the fine-grained charges of the hot loops.
             budget.charge(1, site="engine-table")
             budget.checkpoint(site="engine-table")
+        recorder = trace.current()
+        if recorder is None:
+            return self._table_memo(formula, context)
+        with recorder.span(trace.KIND_SUBFORMULA, describe_node(formula)):
+            return self._table_memo(formula, context)
+
+    def _table_memo(
+        self, formula: ast.Formula, context: _SequenceContext
+    ) -> SimilarityTable:
         cache = self.cache
         if cache is None or context.scope is None:
             return self._compute_table(formula, context)
@@ -287,7 +349,9 @@ class RetrievalEngine:
         )
         cached = cache.get_table(key)
         if cached is not None:
+            trace.bump("cache-table-hit")
             return cached
+        trace.bump("cache-table-miss")
         table = self._compute_table(formula, context)
         cache.put_table(key, table)
         return table
@@ -302,7 +366,9 @@ class RetrievalEngine:
         if isinstance(formula, ast.And):
             left = self._table(formula.left, context)
             right = self._table(formula.right, context)
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "and-merge"
+            ):
                 return left.combine(
                     right,
                     ops.and_lists,
@@ -319,7 +385,9 @@ class RetrievalEngine:
             ) -> SimilarityList:
                 return ops.until_lists(left_list, right_list, threshold)
 
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "until-merge"
+            ):
                 return left.combine(
                     right,
                     until_op,
@@ -336,7 +404,9 @@ class RetrievalEngine:
             right = self._table(formula.right, context)
             # ∨ takes the best disjunct, so an evaluation missing on one
             # side keeps the other side's value: always an outer join.
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "or-merge"
+            ):
                 return left.combine(
                     right,
                     extensions.or_lists,
@@ -345,29 +415,39 @@ class RetrievalEngine:
                 )
         if isinstance(formula, ast.Next):
             table = self._table(formula.sub, context)
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "next-shift"
+            ):
                 return table.map_lists(ops.next_list)
         if isinstance(formula, ast.Eventually):
             table = self._table(formula.sub, context)
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "eventually-scan"
+            ):
                 return table.map_lists(ops.eventually_list)
         if isinstance(formula, ast.Always):
             axis_end = len(context.nodes)
             table = self._table(formula.sub, context)
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "always-scan"
+            ):
                 return table.map_lists(
                     lambda sim: ops.always_list(sim, axis_end)
                 )
         if isinstance(formula, ast.Exists):
             table = self._table(formula.sub, context)
             bound = [name for name in formula.vars if name in table.object_vars]
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "exists-projection"
+            ):
                 return table.project_exists(bound)
         if isinstance(formula, ast.Freeze):
             body = self._table(formula.sub, context)
             segments = [node.metadata for node in context.nodes]
             value_table = build_value_table(formula.func, segments)
-            with instrument.stage(instrument.LIST_ALGEBRA):
+            with trace.staged_span(
+                trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "freeze-join"
+            ):
                 return freeze_join(body, formula.var, value_table)
         if isinstance(formula, (ast.AtNextLevel, ast.AtLevel, ast.AtNamedLevel)):
             return self._level_table(formula, context)
@@ -410,8 +490,7 @@ class RetrievalEngine:
                 f"{type(formula).__name__}"
             )
         pictures = context.ensure_pictures()
-        with instrument.stage(instrument.ATOM_SCORING):
-            return pictures.similarity_table(
+        return pictures.similarity_table(
                 formula,
                 universe=context.universe or None,
                 prune=self.config.prune_atoms,

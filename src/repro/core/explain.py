@@ -5,6 +5,10 @@ perform for a formula — which subformulas become picture-system atoms,
 which list algorithm combines each temporal operator, where tables join
 and on which variables, and where the hierarchy recursion descends.  The
 same structure the paper's Figure 1 describes, but per query.
+
+:func:`describe_node` is the per-node half of that rendering; the tracing
+layer (DESIGN.md §10) uses it to name each subformula span, so the CLI
+``trace`` output is the profiled twin of ``explain``.
 """
 
 from __future__ import annotations
@@ -50,112 +54,78 @@ def _vars_note(formula: ast.Formula) -> str:
     return "; ".join(notes)
 
 
-def _add(lines: List[str], depth: int, text: str) -> None:
-    lines.append("  " * depth + "- " + text)
+def _splits_mixed_conjunction(formula: ast.Formula) -> bool:
+    """True for the non-temporal conjunctions the engine splits anyway
+    because they mix registered atomics with metadata conditions."""
+    return isinstance(formula, ast.And) and any(
+        isinstance(node, ast.AtomicRef) for node in formula.walk()
+    )
 
 
-def _describe(formula: ast.Formula, lines: List[str], depth: int) -> None:
+def describe_node(formula: ast.Formula) -> str:
+    """One-line plan description of a single formula node."""
     if isinstance(formula, ast.AtomicRef):
-        _add(
-            lines,
-            depth,
-            f"atomic {formula.name!r}: registered similarity list",
-        )
-        return
+        return f"atomic {formula.name!r}: registered similarity list"
     if is_non_temporal(formula):
-        if isinstance(formula, ast.And) and any(
-            isinstance(node, ast.AtomicRef) for node in formula.walk()
-        ):
-            # The engine splits conjunctions mixing registered atomics
-            # with metadata conditions.
-            _add(lines, depth, "AND-merge (sum on overlap)")
-            _describe(formula.left, lines, depth + 1)
-            _describe(formula.right, lines, depth + 1)
-            return
-        _add(
-            lines,
-            depth,
+        if _splits_mixed_conjunction(formula):
+            return "AND-merge (sum on overlap)"
+        return (
             f"atom → picture system [{_vars_note(formula)}]: "
-            f"{_clip(pretty(formula), 48)}",
+            f"{_clip(pretty(formula), 48)}"
         )
-        return
     if isinstance(formula, ast.And):
         shared = sorted(
             free_object_vars(formula.left) & free_object_vars(formula.right)
         )
         join = f"join on {', '.join(shared)}" if shared else "cross join"
-        _add(lines, depth, f"AND-merge (sum on overlap; {join})")
-        _describe(formula.left, lines, depth + 1)
-        _describe(formula.right, lines, depth + 1)
-        return
+        return f"AND-merge (sum on overlap; {join})"
     if isinstance(formula, ast.Or):
-        _add(lines, depth, "OR-merge (pointwise max; extension)")
-        _describe(formula.left, lines, depth + 1)
-        _describe(formula.right, lines, depth + 1)
-        return
+        return "OR-merge (pointwise max; extension)"
     if isinstance(formula, ast.Until):
-        _add(
-            lines,
-            depth,
+        return (
             "UNTIL backward merge (threshold left list, coalesce runs, "
-            "suffix-max witnesses)",
+            "suffix-max witnesses)"
         )
-        _describe(formula.left, lines, depth + 1)
-        _describe(formula.right, lines, depth + 1)
-        return
     if isinstance(formula, ast.Next):
-        _add(lines, depth, "NEXT shift (intervals left by one)")
-        _describe(formula.sub, lines, depth + 1)
-        return
+        return "NEXT shift (intervals left by one)"
     if isinstance(formula, ast.Eventually):
-        _add(lines, depth, "EVENTUALLY suffix-max scan")
-        _describe(formula.sub, lines, depth + 1)
-        return
+        return "EVENTUALLY suffix-max scan"
     if isinstance(formula, ast.Always):
-        _add(lines, depth, "ALWAYS suffix-min scan (extension)")
-        _describe(formula.sub, lines, depth + 1)
-        return
+        return "ALWAYS suffix-min scan (extension)"
     if isinstance(formula, ast.Exists):
         names = ", ".join(formula.vars)
-        _add(
-            lines,
-            depth,
-            f"∃-projection over {names} (m-way max merge of rows)",
-        )
-        _describe(formula.sub, lines, depth + 1)
-        return
+        return f"∃-projection over {names} (m-way max merge of rows)"
     if isinstance(formula, ast.Freeze):
-        _add(
-            lines,
-            depth,
+        return (
             f"FREEZE join [{formula.var} := {pretty_term(formula.func)[:32]}] "
-            "(value table × range column)",
+            "(value table × range column)"
         )
-        _describe(formula.sub, lines, depth + 1)
-        return
     if isinstance(formula, ast.AtNextLevel):
-        _add(lines, depth, "descend one level (value at first child)")
-        _describe(formula.sub, lines, depth + 1)
-        return
+        return "descend one level (value at first child)"
     if isinstance(formula, ast.AtLevel):
-        _add(
-            lines,
-            depth,
-            f"descend to level {formula.level} (value at first descendant)",
-        )
-        _describe(formula.sub, lines, depth + 1)
-        return
+        return f"descend to level {formula.level} (value at first descendant)"
     if isinstance(formula, ast.AtNamedLevel):
-        _add(
-            lines,
-            depth,
+        return (
             f"descend to {formula.level_name!r} level "
-            "(value at first descendant)",
+            "(value at first descendant)"
         )
-        _describe(formula.sub, lines, depth + 1)
-        return
     if isinstance(formula, ast.Not):
-        _add(lines, depth, "NOT (unsupported over temporal subformulas)")
-        _describe(formula.sub, lines, depth + 1)
+        return "NOT (unsupported over temporal subformulas)"
+    return type(formula).__name__  # pragma: no cover
+
+
+def _add(lines: List[str], depth: int, text: str) -> None:
+    lines.append("  " * depth + "- " + text)
+
+
+def _describe(formula: ast.Formula, lines: List[str], depth: int) -> None:
+    _add(lines, depth, describe_node(formula))
+    if isinstance(formula, ast.AtomicRef):
         return
-    _add(lines, depth, f"{type(formula).__name__}")  # pragma: no cover
+    if is_non_temporal(formula):
+        if _splits_mixed_conjunction(formula):
+            _describe(formula.left, lines, depth + 1)
+            _describe(formula.right, lines, depth + 1)
+        return
+    for child in formula.children():
+        _describe(child, lines, depth + 1)

@@ -1,30 +1,85 @@
-"""Per-stage wall-clock counters for the retrieval pipeline.
+"""Compatibility facade over the process metrics registry.
 
 Evaluation time splits across three stages — scoring atoms in the picture
 layer, combining similarity lists/tables in the engine, and ranking in
 top-k — and perf regressions are much easier to attribute when each stage
-reports its own total.  This module is the low-level switchboard: the
-engine and top-k wrap their hot sections in :func:`stage`, which is a
-near-free no-op until :func:`enable` turns collection on (the benchmark
-harness re-exports a reporting facade as :mod:`repro.bench.stages`).
+reports its own total.  This module keeps the original flat-function API
+(``enable``/``stage``/``totals``/``count``/...) but every call now
+delegates to :data:`repro.core.trace.METRICS`, the thread-safe
+:class:`~repro.core.trace.MetricsRegistry` shared with the per-query
+tracing layer (DESIGN.md §10).  That move fixes three long-standing
+defects of the old module-global implementation:
+
+* ``enable(reset=True)`` / ``reset()`` used to rebind the totals and
+  counter dicts without holding the lock, so parallel top-k workers kept
+  writing into the discarded dict — updates were lost.  The registry
+  clears in place under its lock instead.
+* nested same-name :func:`stage` blocks double-counted wall-clock; only
+  the outermost frame of a name (per thread) is credited now.
+* :func:`stage` read the enabled flag once at entry; the exit path
+  re-checks it, so a block is credited only when collection is enabled
+  at both entry and exit (``disable()`` mid-block drops the in-flight
+  block, ``enable()`` mid-block takes effect at the next entry).
+
+New capability surfaces alongside the legacy names: latency histograms
+(:func:`observe` / :func:`histograms` with p50/p95/p99 summaries),
+coherent :func:`snapshot`, and atomic snapshot-and-clear :func:`drain`.
 
 Lives under :mod:`repro.core` rather than :mod:`repro.bench` so the
 engine can import it without a dependency cycle (``repro.bench`` imports
-the engine).
+the engine; the benchmark harness re-exports a reporting facade as
+:mod:`repro.bench.stages`).
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Any, Dict, Iterator
 
-#: Canonical stage names used across the engine.
-ATOM_SCORING = "atom-scoring"
-LIST_ALGEBRA = "list-algebra"
-TOP_K = "top-k"
+from repro.core.trace import (
+    ATOM_SCORING,
+    LIST_ALGEBRA,
+    METRICS,
+    TOP_K,
+    HistogramSummary,
+    StageTotal,
+)
+
+__all__ = [
+    "ATOM_SCORING",
+    "LIST_ALGEBRA",
+    "TOP_K",
+    "ATOM_FALLBACK",
+    "ATOM_BREAKER_OPEN",
+    "ENGINE_FALLBACK",
+    "SQL_FALLBACK",
+    "BUDGET_EXCEEDED",
+    "BREAKER_OPENED",
+    "BREAKER_RECOVERED",
+    "FAULT_INJECTED",
+    "STORE_SNAPSHOT_SAVED",
+    "STORE_SNAPSHOT_LOADED",
+    "STORE_ARTIFACT_QUARANTINED",
+    "STORE_SNAPSHOT_FALLBACK",
+    "STORE_INDEX_REBUILT",
+    "STORE_MANIFEST_RECOVERED",
+    "QUERY_LATENCY",
+    "VIDEO_LATENCY",
+    "StageTotal",
+    "HistogramSummary",
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "totals",
+    "add",
+    "count",
+    "counters",
+    "observe",
+    "histograms",
+    "snapshot",
+    "drain",
+    "stage",
+]
 
 #: Canonical event-counter names of the resilience layer.  Unlike stage
 #: timings, counters are always on: they record rare control-flow events
@@ -50,91 +105,76 @@ STORE_SNAPSHOT_FALLBACK = "store-snapshot-fallback"
 STORE_INDEX_REBUILT = "store-index-rebuilt"
 STORE_MANIFEST_RECOVERED = "store-manifest-recovered"
 
-_enabled = False
-_lock = threading.Lock()
-
-
-@dataclass
-class StageTotal:
-    """Accumulated wall-clock seconds and entry count of one stage."""
-
-    seconds: float = 0.0
-    calls: int = 0
-
-
-_totals: Dict[str, StageTotal] = {}
-_counters: Dict[str, int] = {}
+#: Canonical latency-histogram names of the top-k layer (seconds).
+QUERY_LATENCY = "query-seconds"
+VIDEO_LATENCY = "video-seconds"
 
 
 def enable(reset: bool = True) -> None:
     """Start collecting stage timings (optionally clearing old totals)."""
-    global _enabled
-    if reset:
-        globals()["_totals"] = {}
-        globals()["_counters"] = {}
-    _enabled = True
+    METRICS.enable(reset)
 
 
 def disable() -> None:
     """Stop collecting; accumulated totals stay readable."""
-    global _enabled
-    _enabled = False
+    METRICS.disable()
 
 
 def is_enabled() -> bool:
-    return _enabled
+    return METRICS.is_enabled()
 
 
 def reset() -> None:
-    """Clear all accumulated totals and event counters."""
-    globals()["_totals"] = {}
-    globals()["_counters"] = {}
+    """Clear all accumulated totals, counters and histograms."""
+    METRICS.reset()
 
 
 def totals() -> Dict[str, StageTotal]:
     """Snapshot of the per-stage totals (copies, safe to mutate)."""
-    with _lock:
-        return {
-            name: StageTotal(total.seconds, total.calls)
-            for name, total in _totals.items()
-        }
+    return METRICS.totals()
 
 
 def add(name: str, seconds: float, calls: int = 1) -> None:
     """Credit time to a stage directly (thread-safe)."""
-    with _lock:
-        total = _totals.get(name)
-        if total is None:
-            total = _totals[name] = StageTotal()
-        total.seconds += seconds
-        total.calls += calls
+    METRICS.add(name, seconds, calls)
 
 
 def count(name: str, n: int = 1) -> None:
     """Bump an event counter (thread-safe, always on)."""
-    with _lock:
-        _counters[name] = _counters.get(name, 0) + n
+    METRICS.count(name, n)
 
 
 def counters() -> Dict[str, int]:
     """Snapshot of the event counters (a copy, safe to mutate)."""
-    with _lock:
-        return dict(_counters)
+    return METRICS.counters()
 
 
-@contextmanager
+def observe(name: str, value: float) -> None:
+    """Record one latency sample (collected only while enabled)."""
+    METRICS.observe(name, value)
+
+
+def histograms() -> Dict[str, HistogramSummary]:
+    """Snapshot of every latency histogram's p50/p95/p99 summary."""
+    return METRICS.histograms()
+
+
+def snapshot() -> Dict[str, Any]:
+    """One coherent snapshot of stages + counters + histograms."""
+    return METRICS.snapshot()
+
+
+def drain() -> Dict[str, Any]:
+    """Atomically snapshot *and clear* everything (counts conserved)."""
+    return METRICS.drain()
+
+
 def stage(name: str) -> Iterator[None]:
     """Time the enclosed block against ``name`` when collection is on.
 
-    Nested same-name stages double-count by design — wrap only the
-    outermost hot sections.  When disabled the overhead is one global
-    read.
+    Only the outermost frame of a name (per thread) is credited, and only
+    when collection is enabled at both entry and exit — see
+    :meth:`repro.core.trace.MetricsRegistry.stage` for the full
+    semantics.  When disabled the overhead is one attribute read.
     """
-    if not _enabled:
-        yield
-        return
-    started = time.perf_counter()
-    try:
-        yield
-    finally:
-        add(name, time.perf_counter() - started)
+    return METRICS.stage(name)

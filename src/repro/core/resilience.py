@@ -42,7 +42,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Iterator, Optional, TYPE_CHECKING
 
-from repro.core import instrument
+from repro.core import instrument, trace
 from repro.errors import BudgetExceededError, CircuitOpenError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -213,6 +213,11 @@ class QueryBudget:
 
     def _overrun(self, site: str) -> None:
         instrument.count(instrument.BUDGET_EXCEEDED)
+        trace.event(
+            instrument.BUDGET_EXCEEDED,
+            f"site={site or '?'} steps={self.steps} "
+            f"elapsed={self.elapsed_ms():.1f}ms",
+        )
         if self.max_steps is not None and self.steps > self.max_steps:
             raise BudgetExceededError(
                 f"step budget of {self.max_steps} exhausted after "
@@ -292,6 +297,10 @@ class CircuitBreaker:
                 if self._refusals >= self.cooldown:
                     self._state = HALF_OPEN
                     instrument.count(f"breaker-{self.name}-half-open")
+                    trace.event(
+                        f"breaker-{self.name}-half-open",
+                        "cooldown elapsed; admitting one trial probe",
+                    )
                     return True
                 return False
             # Half-open: one trial in flight; refuse concurrent probes.
@@ -301,6 +310,10 @@ class CircuitBreaker:
         with self._lock:
             if self._state != CLOSED:
                 instrument.count(instrument.BREAKER_RECOVERED)
+                trace.event(
+                    instrument.BREAKER_RECOVERED,
+                    f"breaker {self.name!r} closed after a successful probe",
+                )
             self._state = CLOSED
             self._failures = 0
             self._refusals = 0
@@ -314,6 +327,11 @@ class CircuitBreaker:
             ):
                 if self._state != OPEN:
                     instrument.count(instrument.BREAKER_OPENED)
+                    trace.event(
+                        instrument.BREAKER_OPENED,
+                        f"breaker {self.name!r} opened after "
+                        f"{self._failures} consecutive failures",
+                    )
                 self._state = OPEN
                 self._refusals = 0
 
@@ -542,6 +560,11 @@ def evaluate_with_fallback(
                 )
                 breaker.record_success()
                 instrument.count(instrument.ENGINE_FALLBACK)
+                trace.event(
+                    instrument.ENGINE_FALLBACK,
+                    f"primary engine failed with {type(primary).__name__}; "
+                    "naive-atom engine answered",
+                )
                 return result
             except BudgetExceededError:
                 raise
@@ -549,12 +572,20 @@ def evaluate_with_fallback(
                 breaker.record_failure()
         else:
             instrument.count("breaker-engine-refused")
+            trace.event(
+                "breaker-engine-refused",
+                "engine breaker open; skipping the naive-atom hop",
+            )
         sql_breaker = context.breaker("engine-sql")
         if database is not None and sql_breaker.allow():
             try:
                 result = _sql_baseline(engine, formula, video, level, database)
                 sql_breaker.record_success()
                 instrument.count(instrument.SQL_FALLBACK)
+                trace.event(
+                    instrument.SQL_FALLBACK,
+                    "naive-atom hop unavailable; SQL baseline answered",
+                )
                 return result
             except BudgetExceededError:
                 raise

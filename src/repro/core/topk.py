@@ -20,17 +20,19 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Callable, Iterator, List, Optional, Tuple, Union
 
-from repro.core import instrument, resilience
+from repro.core import instrument, resilience, trace
 from repro.core.engine import RetrievalEngine, actual_upper_bound
 from repro.core.simlist import SIM_EPS, SimilarityList, SimilarityValue
 from repro.errors import BudgetExceededError, UnsupportedFormulaError
 from repro.htl import ast
+from repro.htl.pretty import pretty
 from repro.model.database import VideoDatabase
 from repro.model.hierarchy import Video
 
@@ -198,20 +200,26 @@ class TopKResult(Sequence):
       in database order;
     * ``partial`` — True when at least one video failed or timed out, i.e.
       the ranking is best-effort over the videos that did evaluate (only
-      possible in lenient mode — strict mode raises instead).
+      possible in lenient mode — strict mode raises instead);
+    * ``profile`` — the query's root :class:`~repro.core.trace.Span` when
+      the call ran with tracing on (``profile=True`` or an ambient
+      :func:`repro.core.trace.recording`), else None.  Provenance like
+      ``outcomes``: never part of ranking equality.
     """
 
-    __slots__ = ("segments", "outcomes", "partial")
+    __slots__ = ("segments", "outcomes", "partial", "profile")
 
     def __init__(
         self,
         segments: List[RetrievedSegment],
         outcomes: Sequence = (),
         partial: bool = False,
+        profile: Optional[trace.Span] = None,
     ):
         self.segments: List[RetrievedSegment] = list(segments)
         self.outcomes: Tuple[VideoOutcome, ...] = tuple(outcomes)
         self.partial = bool(partial)
+        self.profile = profile
 
     # -- sequence protocol over the ranked segments ---------------------
     def __len__(self) -> int:
@@ -266,6 +274,7 @@ def top_k_across_videos(
     budget: Optional[resilience.QueryBudget] = None,
     policy: Optional[resilience.ResiliencePolicy] = None,
     lenient: bool = False,
+    profile: bool = False,
 ) -> TopKResult:
     """Evaluate the query on every video and rank segments globally.
 
@@ -288,11 +297,126 @@ def top_k_across_videos(
     cancelled.  With none of the three knobs set and no ambient
     :func:`repro.core.resilience.scope` active, the call runs exactly the
     pre-resilience fast path.
+
+    Observability (DESIGN.md §10): ``profile=True`` — or an ambient
+    :func:`repro.core.trace.recording` — collects a hierarchical trace
+    (query → video → subformula → atom-sweep/list-op/top-k spans) and
+    attaches its root to ``TopKResult.profile``.  Per-video spans carry
+    the :class:`VideoOutcome` status, budget-step consumption and cache
+    hit/miss deltas; fallbacks and breaker trips appear as span events.
+    With metrics enabled (``instrument.enable()``), query and per-video
+    latencies additionally feed the ``query-seconds`` /
+    ``video-seconds`` histograms.
     """
-    outcomes: List[VideoOutcome] = []
     if k <= 0:
         return TopKResult([])
+    if not instrument.is_enabled():
+        return _dispatch_top_k(
+            engine, formula, database, k, level, parallelism, prune,
+            budget, policy, lenient, profile,
+        )
+    started = time.perf_counter()
+    try:
+        return _dispatch_top_k(
+            engine, formula, database, k, level, parallelism, prune,
+            budget, policy, lenient, profile,
+        )
+    finally:
+        instrument.observe(
+            instrument.QUERY_LATENCY, time.perf_counter() - started
+        )
 
+
+def _dispatch_top_k(
+    engine, formula, database, k, level, parallelism, prune,
+    budget, policy, lenient, profile,
+) -> TopKResult:
+    """Route the call through a query span when tracing is requested."""
+    recorder = trace.current()
+    if recorder is None:
+        if not profile:
+            return _top_k_impl(
+                engine, formula, database, k, level, parallelism, prune,
+                budget, policy, lenient,
+            )
+        with trace.recording() as recorder:
+            return _traced_top_k(
+                recorder, engine, formula, database, k, level, parallelism,
+                prune, budget, policy, lenient,
+            )
+    return _traced_top_k(
+        recorder, engine, formula, database, k, level, parallelism, prune,
+        budget, policy, lenient,
+    )
+
+
+def _clip_query(formula: ast.Formula, limit: int = 60) -> str:
+    text = pretty(formula)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _traced_top_k(
+    recorder, engine, formula, database, k, level, parallelism, prune,
+    budget, policy, lenient,
+) -> TopKResult:
+    with recorder.span(
+        trace.KIND_QUERY,
+        f"top-{k}: {_clip_query(formula)}",
+        k=k,
+        level=level,
+        parallelism=parallelism if parallelism else 1,
+    ) as query_span:
+        result = _top_k_impl(
+            engine, formula, database, k, level, parallelism, prune,
+            budget, policy, lenient,
+        )
+        result.profile = query_span
+        return result
+
+
+def _run_video(
+    video: Video,
+    worker: Callable[[], Optional[VideoOutcome]],
+    budget: Optional[resilience.QueryBudget],
+) -> Optional[VideoOutcome]:
+    """Run one per-video step inside a ``video`` span when tracing.
+
+    The span carries the :class:`VideoOutcome` status and the budget-step
+    delta of the step (exact serially; under a thread pool the shared
+    step counter interleaves siblings, so read it as fan-out pressure,
+    not isolated cost).  A strict-mode exception closes the span with its
+    ``error`` attribute set and propagates.
+    """
+    recorder = trace.current()
+    if recorder is None:
+        return worker()
+    steps_before = budget.steps if budget is not None else 0
+    with recorder.span(trace.KIND_VIDEO, video.name) as video_span:
+        outcome = worker()
+        if budget is not None:
+            video_span.attrs["budget-steps"] = budget.steps - steps_before
+        if outcome is None:
+            video_span.attrs["status"] = "cancelled"
+            return None
+        video_span.attrs["status"] = outcome.status
+        if outcome.error is not None:
+            video_span.attrs["error"] = type(outcome.error).__name__
+        return outcome
+
+
+def _top_k_impl(
+    engine: RetrievalEngine,
+    formula: ast.Formula,
+    database: VideoDatabase,
+    k: int,
+    level: int,
+    parallelism: Optional[int],
+    prune: bool,
+    budget: Optional[resilience.QueryBudget],
+    policy: Optional[resilience.ResiliencePolicy],
+    lenient: bool,
+) -> TopKResult:
+    outcomes: List[VideoOutcome] = []
     ambient = resilience.current()
     resilient = (
         budget is not None
@@ -323,6 +447,17 @@ def top_k_across_videos(
     strict = context is None or not context.policy.lenient
 
     def evaluate(video: Video) -> SimilarityList:
+        if not instrument.is_enabled():
+            return _evaluate(video)
+        eval_started = time.perf_counter()
+        try:
+            return _evaluate(video)
+        finally:
+            instrument.observe(
+                instrument.VIDEO_LATENCY, time.perf_counter() - eval_started
+            )
+
+    def _evaluate(video: Video) -> SimilarityList:
         resilience.fault(resilience.SITE_TOPK_WORKER)
         if context is not None and context.policy.engine_fallback:
             sim = resilience.evaluate_with_fallback(
@@ -341,47 +476,49 @@ def top_k_across_videos(
 
     heap: List[_HeapItem] = []
     videos = list(database.videos())
+    trace.annotate(videos=len(videos))
+    active_budget = context.budget if context is not None else None
     activation = (
         resilience.activate(context) if context is not None else nullcontext()
     )
 
     if parallelism is None or parallelism <= 1:
         deadline: Optional[BudgetExceededError] = None
+
+        def serial_step(video: Video) -> VideoOutcome:
+            nonlocal deadline
+            if deadline is not None:
+                return VideoOutcome(video.name, OUTCOME_TIMED_OUT, deadline)
+            if prune and len(heap) == k:
+                bound = _video_bound(formula, video, level, database)
+                if bound is not None and bound < heap[0][0] - SIM_EPS:
+                    trace.annotate(bound=bound)
+                    return VideoOutcome(video.name, OUTCOME_PRUNED)
+            try:
+                sim = evaluate(video)
+            except BudgetExceededError as exc:
+                if strict:
+                    raise
+                deadline = exc
+                return VideoOutcome(video.name, OUTCOME_TIMED_OUT, exc)
+            except Exception as exc:
+                if strict:
+                    raise
+                return VideoOutcome(video.name, OUTCOME_FAILED, exc)
+            with trace.staged_span(
+                trace.TOP_K, trace.KIND_TOPK, "stream-entries"
+            ):
+                _stream_entries(heap, k, sim, video.name)
+            return VideoOutcome(video.name, OUTCOME_OK)
+
         with activation:
             for video in videos:
-                if deadline is not None:
-                    outcomes.append(
-                        VideoOutcome(video.name, OUTCOME_TIMED_OUT, deadline)
+                outcomes.append(
+                    _run_video(
+                        video, lambda: serial_step(video), active_budget
                     )
-                    continue
-                if prune and len(heap) == k:
-                    bound = _video_bound(formula, video, level, database)
-                    if bound is not None and bound < heap[0][0] - SIM_EPS:
-                        outcomes.append(
-                            VideoOutcome(video.name, OUTCOME_PRUNED)
-                        )
-                        continue
-                try:
-                    sim = evaluate(video)
-                except BudgetExceededError as exc:
-                    if strict:
-                        raise
-                    deadline = exc
-                    outcomes.append(
-                        VideoOutcome(video.name, OUTCOME_TIMED_OUT, exc)
-                    )
-                    continue
-                except Exception as exc:
-                    if strict:
-                        raise
-                    outcomes.append(
-                        VideoOutcome(video.name, OUTCOME_FAILED, exc)
-                    )
-                    continue
-                with instrument.stage(instrument.TOP_K):
-                    _stream_entries(heap, k, sim, video.name)
-                outcomes.append(VideoOutcome(video.name, OUTCOME_OK))
-        with instrument.stage(instrument.TOP_K):
+                )
+        with trace.staged_span(trace.TOP_K, trace.KIND_TOPK, "rank"):
             return TopKResult(
                 _drain(heap),
                 outcomes,
@@ -390,29 +527,40 @@ def top_k_across_videos(
 
     lock = threading.Lock()
     cancel = threading.Event()
+    # Workers adopt the submitting thread's trace position, so their
+    # per-video spans stay children of this query's span.
+    token = trace.capture()
+
+    def visit_step(video: Video) -> Optional[VideoOutcome]:
+        if cancel.is_set():
+            return None
+        if prune:
+            with lock:
+                worst = heap[0][0] if len(heap) == k else None
+            if worst is not None:
+                bound = _video_bound(formula, video, level, database)
+                if bound is not None and bound < worst - SIM_EPS:
+                    trace.annotate(bound=bound)
+                    return VideoOutcome(video.name, OUTCOME_PRUNED)
+        sim = evaluate(video)
+        with lock:
+            with trace.staged_span(
+                trace.TOP_K, trace.KIND_TOPK, "stream-entries"
+            ):
+                _stream_entries(heap, k, sim, video.name)
+        return VideoOutcome(video.name, OUTCOME_OK)
 
     def visit(video: Video) -> Optional[VideoOutcome]:
         # Workers re-install the submitting thread's context so the whole
         # fan-out shares one budget and one set of breakers.
-        with (
+        with trace.adopt(token), (
             resilience.activate(context)
             if context is not None
             else nullcontext()
         ):
-            if cancel.is_set():
-                return None
-            if prune:
-                with lock:
-                    worst = heap[0][0] if len(heap) == k else None
-                if worst is not None:
-                    bound = _video_bound(formula, video, level, database)
-                    if bound is not None and bound < worst - SIM_EPS:
-                        return VideoOutcome(video.name, OUTCOME_PRUNED)
-            sim = evaluate(video)
-            with lock:
-                with instrument.stage(instrument.TOP_K):
-                    _stream_entries(heap, k, sim, video.name)
-            return VideoOutcome(video.name, OUTCOME_OK)
+            return _run_video(
+                video, lambda: visit_step(video), active_budget
+            )
 
     def note_failure(future) -> None:
         # Out-of-order early cancellation: a fatal worker failure stops
@@ -467,7 +615,7 @@ def top_k_across_videos(
                 outcomes.append(outcome)
     if fatal is not None:
         raise fatal
-    with instrument.stage(instrument.TOP_K):
+    with trace.staged_span(trace.TOP_K, trace.KIND_TOPK, "rank"):
         return TopKResult(
             _drain(heap),
             outcomes,

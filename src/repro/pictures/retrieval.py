@@ -36,7 +36,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core import instrument, resilience
+from repro.core import instrument, resilience, trace
 from repro.core.ranges import FULL, Range, interval
 from repro.core.simlist import SIM_EPS, SimilarityList
 from repro.core.tables import SimilarityTable, TableRow
@@ -47,6 +47,7 @@ from repro.errors import (
 )
 from repro.htl import ast
 from repro.htl.classify import is_non_temporal
+from repro.htl.pretty import pretty
 from repro.htl.variables import (
     free_attr_vars,
     free_object_vars,
@@ -59,6 +60,12 @@ from repro.pictures.support import AtomSupport, SupportAnalyzer
 
 #: The representative empty segment baselines are scored on.
 _EMPTY_SEGMENT = SegmentMetadata()
+
+
+def _clip_atom(atom: ast.Formula, limit: int = 60) -> str:
+    """A short rendering of an atom for span names."""
+    text = pretty(atom)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 @dataclass
@@ -173,7 +180,42 @@ class PictureRetrievalSystem:
         is what the definitional semantics prescribe under partial
         matching.  ``use_index`` overrides the system-wide path selection
         for this call (``None`` keeps the system default).
+
+        Every table build is one ``atom-scoring`` stage block, and — when
+        a trace recorder is active — one ``atom-sweep`` span annotated
+        with the path taken (indexed / naive / naive-fallback) and the
+        sweep's work-counter deltas (DESIGN.md §10).
         """
+        with trace.staged_span(
+            trace.ATOM_SCORING,
+            trace.KIND_ATOM_SWEEP,
+            _clip_atom(atom),
+        ) as span:
+            if span is None:
+                return self._similarity_table(atom, universe, prune, use_index)
+            before = (
+                self.stats.bindings,
+                self.stats.segments_scored,
+                self.stats.fingerprint_hits,
+            )
+            table = self._similarity_table(atom, universe, prune, use_index)
+            span.attrs["rows"] = len(table.rows)
+            span.attrs["bindings"] = self.stats.bindings - before[0]
+            span.attrs["segments-scored"] = (
+                self.stats.segments_scored - before[1]
+            )
+            span.attrs["fingerprint-hits"] = (
+                self.stats.fingerprint_hits - before[2]
+            )
+            return table
+
+    def _similarity_table(
+        self,
+        atom: ast.Formula,
+        universe: Optional[Sequence[str]],
+        prune: bool,
+        use_index: Optional[bool],
+    ) -> SimilarityTable:
         if not is_non_temporal(atom):
             raise UnsupportedFormulaError(
                 "the picture system evaluates non-temporal formulas only"
@@ -203,6 +245,7 @@ class PictureRetrievalSystem:
             # a blown deadline must abort, not degrade.
             context = resilience.current()
             if context is None or not context.policy.atom_fallback:
+                trace.annotate(path="indexed")
                 rows = self._indexed_rows(
                     atom, bindings, object_vars, attr_vars, pool, maximum
                 )
@@ -217,18 +260,32 @@ class PictureRetrievalSystem:
                         object_vars, attr_vars, rows, maximum
                     )
                     breaker.record_success()
+                    trace.annotate(path="indexed")
                     return table
                 except BudgetExceededError:
                     raise
-                except Exception:
+                except Exception as exc:
                     breaker.record_failure()
                     instrument.count(instrument.ATOM_FALLBACK)
+                    trace.event(
+                        instrument.ATOM_FALLBACK,
+                        f"indexed sweep failed with {type(exc).__name__}; "
+                        "redoing with the naive oracle scorer",
+                    )
+                    trace.annotate(path="naive-fallback")
             else:
                 instrument.count(instrument.ATOM_BREAKER_OPEN)
+                trace.event(
+                    instrument.ATOM_BREAKER_OPEN,
+                    "atom-index breaker refused the indexed path",
+                )
+                trace.annotate(path="naive-fallback")
             # The bindings iterator may be partially consumed; rebuild it.
             bindings = itertools.product(
                 *(candidate_pool[name] for name in object_vars)
             )
+        else:
+            trace.annotate(path="naive")
 
         rows: List[TableRow] = []
         for values in bindings:

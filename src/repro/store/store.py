@@ -42,7 +42,7 @@ import shutil
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core import instrument, resilience
+from repro.core import instrument, resilience, trace
 from repro.errors import (
     InjectedFaultError,
     ModelError,
@@ -277,6 +277,11 @@ class Store:
             target = f"{base}.{suffix}"
         shutil.move(path, target)
         instrument.count(instrument.STORE_ARTIFACT_QUARANTINED)
+        trace.event(
+            instrument.STORE_ARTIFACT_QUARANTINED,
+            f"moved {os.path.basename(path)} aside to "
+            f"{os.path.basename(target)}",
+        )
         return target
 
     def _quarantine_artifact(
@@ -445,6 +450,7 @@ class Store:
         if self.fsync:
             fsync_directory(self.root)
         instrument.count(instrument.STORE_SNAPSHOT_SAVED)
+        trace.event(instrument.STORE_SNAPSHOT_SAVED, snapshot_id)
         # Retention, after the commit: dropped snapshots are unreferenced
         # by the new manifest, so removing them can never lose the
         # current or fallback state.  Best-effort — a failure here only
@@ -482,6 +488,10 @@ class Store:
                 f"no snapshot store at {self.root!r}", path=self.root
             )
         instrument.count(instrument.STORE_MANIFEST_RECOVERED)
+        trace.event(
+            instrument.STORE_MANIFEST_RECOVERED,
+            "manifest missing or damaged; recovered by disk scan",
+        )
         actions.append(
             RecoveryAction(
                 kind="manifest-recovered",
@@ -746,6 +756,10 @@ class Store:
                         )
                     )
                 instrument.count(instrument.STORE_INDEX_REBUILT)
+                trace.event(
+                    instrument.STORE_INDEX_REBUILT,
+                    f"rebuilt derived index for {video.name!r}",
+                )
                 system = PictureRetrievalSystem(metadata)
             video.root.install_pictures(level, system)
 
@@ -843,6 +857,11 @@ class Store:
                 continue
             if position > 0:
                 instrument.count(instrument.STORE_SNAPSHOT_FALLBACK)
+                trace.event(
+                    instrument.STORE_SNAPSHOT_FALLBACK,
+                    f"fell back past {position} damaged snapshot(s) "
+                    f"to {snapshot_id}",
+                )
                 actions.append(
                     RecoveryAction(
                         kind="fallback",
@@ -852,6 +871,7 @@ class Store:
                     )
                 )
             instrument.count(instrument.STORE_SNAPSHOT_LOADED)
+            trace.event(instrument.STORE_SNAPSHOT_LOADED, snapshot_id)
             return StoreLoad(
                 database=database,
                 snapshot_id=snapshot_id,

@@ -1,5 +1,7 @@
 """Per-stage timing counters (repro.core.instrument / repro.bench.stages)."""
 
+import threading
+
 import pytest
 
 from repro.bench import stages
@@ -73,6 +75,53 @@ def test_pipeline_attributes_all_three_stages():
     assert totals[stages.ATOM_SCORING].calls >= 1
     assert totals[stages.LIST_ALGEBRA].calls >= 1
     assert totals[stages.TOP_K].calls >= 1
+
+
+def test_reset_race_loses_no_updates():
+    """Regression: enable(reset=True)/reset() used to rebind the dicts
+    without the lock, so a thread-pool worker mid-update wrote into a
+    discarded dict.  With in-place clearing and atomic drain, every
+    add/count lands in exactly one drained snapshot."""
+    n_threads, n_each = 6, 2000
+    barrier = threading.Barrier(n_threads + 1)
+
+    def worker():
+        barrier.wait()
+        for __ in range(n_each):
+            instrument.count("events")
+            instrument.add("work", 0.0001)
+
+    threads = [threading.Thread(target=worker) for __ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    seen_counts = seen_calls = cycles = 0
+    while any(thread.is_alive() for thread in threads) or cycles < 100:
+        drained = instrument.drain()
+        seen_counts += drained["counters"].get("events", 0)
+        stage = drained["stages"].get("work")
+        seen_calls += stage.calls if stage else 0
+        cycles += 1
+    for thread in threads:
+        thread.join()
+    drained = instrument.drain()
+    seen_counts += drained["counters"].get("events", 0)
+    stage = drained["stages"].get("work")
+    seen_calls += stage.calls if stage else 0
+    assert cycles >= 100
+    assert seen_counts == n_threads * n_each
+    assert seen_calls == n_threads * n_each
+
+
+def test_facade_exposes_registry_surface():
+    instrument.enable()
+    instrument.observe("lat", 0.25)
+    snapshot = instrument.snapshot()
+    assert snapshot["histograms"]["lat"].count == 1
+    assert instrument.histograms()["lat"].p50 == pytest.approx(0.25)
+    drained = instrument.drain()
+    assert drained["histograms"]["lat"].count == 1
+    assert instrument.histograms() == {}
 
 
 def test_stage_report_text():

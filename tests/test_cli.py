@@ -207,6 +207,63 @@ class TestResilienceFlags:
         assert "partial result" in out
 
 
+class TestTrace:
+    def test_trace_renders_span_tree_and_reports(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "trace",
+            "eventually (exists x . present(x))",
+            "--top",
+            "2",
+        )
+        assert code == 0
+        assert "(query)" in out
+        assert "(video)" in out
+        assert "(atom-sweep)" in out
+        assert "Per-stage timing" in out
+        assert "Latency percentiles" in out
+        assert "Top 2 segments" in out
+
+    def test_trace_parallel_keeps_parentage(self, capsys):
+        code, out, __ = run_cli(
+            capsys,
+            "trace",
+            "exists x . present(x)",
+            "--dataset",
+            "western",
+            "--top",
+            "3",
+            "--parallel",
+            "2",
+        )
+        assert code == 0
+        assert "parallelism=2" in out
+        assert "(video)" in out
+
+    def test_trace_json_export(self, capsys):
+        import json
+
+        code, out, __ = run_cli(
+            capsys,
+            "trace",
+            "exists x . present(x)",
+            "--top",
+            "1",
+            "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) == {"metrics", "trace"}
+        assert payload["trace"]["spans"]["kind"] == "query"
+        assert "stage_breakdown" in payload["trace"]
+        assert "histograms" in payload["metrics"]
+
+    def test_trace_parse_error_reported(self, capsys):
+        code, __, err = run_cli(capsys, "trace", "and and")
+        assert code == EXIT_CODES[errors.HTLSyntaxError]
+        assert "error:" in err
+
+
 class TestDatasets:
     def test_listing(self, capsys):
         code, out, __ = run_cli(capsys, "datasets")
