@@ -34,6 +34,7 @@ from repro.errors import (
     ModelError,
     ReproError,
     ResilienceError,
+    ShardError,
     SimilarityListInvariantError,
     SQLCatalogError,
     SQLError,
@@ -90,6 +91,7 @@ EXIT_CODES = {
     StoreWriteError: 24,
     StoreCorruptionError: 25,
     StoreVersionError: 26,
+    ShardError: 27,
 }
 
 
@@ -224,6 +226,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(with --across)",
     )
     run.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="partition the dataset into this many shards and run the "
+        "query scatter-gather (with --across)",
+    )
+    run.add_argument(
+        "--shard-dir",
+        default=None,
+        help="query a sharded store layout written by 'shard split' "
+        "instead of a built-in dataset (with --across)",
+    )
+    run.add_argument(
         "--deadline-ms",
         type=_positive_float,
         default=None,
@@ -344,6 +359,56 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="intact snapshots to retain (default: 2)",
     )
+
+    shard_cmd = commands.add_parser(
+        "shard", help="manage sharded corpus layouts (scatter-gather top-k)"
+    )
+    shard_actions = shard_cmd.add_subparsers(
+        dest="shard_command", required=True
+    )
+
+    shard_split = shard_actions.add_parser(
+        "split", help="partition a dataset into N per-shard stores"
+    )
+    shard_split.add_argument(
+        "--dir",
+        dest="shard_dir",
+        required=True,
+        help="layout root directory (holds SHARDS.json + shard stores)",
+    )
+    shard_split.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default="casablanca",
+        help="built-in dataset to partition (default: casablanca)",
+    )
+    shard_split.add_argument(
+        "--shards",
+        type=_positive_int,
+        required=True,
+        help="number of shards to split into",
+    )
+    shard_split.add_argument(
+        "--keep",
+        type=_positive_int,
+        default=2,
+        help="snapshots to retain per shard store (default: 2)",
+    )
+
+    shard_info = shard_actions.add_parser(
+        "info", help="describe a shard layout (and optionally its indices)"
+    )
+    shard_info.add_argument(
+        "--dir",
+        dest="shard_dir",
+        required=True,
+        help="layout root directory",
+    )
+    shard_info.add_argument(
+        "--stats",
+        action="store_true",
+        help="load every shard and print per-video metadata-index stats",
+    )
     return parser
 
 
@@ -402,6 +467,30 @@ def _run_across(
         budget=_run_budget(arguments),
         lenient=arguments.lenient,
     )
+    return _print_across(arguments, results)
+
+
+def _run_across_sharded(
+    arguments: argparse.Namespace,
+    engine: RetrievalEngine,
+    formula,
+    corpus,
+    level: int,
+) -> int:
+    results = corpus.top_k(
+        engine,
+        formula,
+        arguments.top,
+        level=level,
+        parallelism=arguments.parallel,
+        budget=_run_budget(arguments),
+        lenient=arguments.lenient,
+    )
+    print(f"scatter-gather over {corpus.n_shards} shard(s)")
+    return _print_across(arguments, results)
+
+
+def _print_across(arguments: argparse.Namespace, results) -> int:
     n_videos = len(results.outcomes)
     print(f"Top {arguments.top} segments across {n_videos} videos:")
     for rank, segment in enumerate(results, start=1):
@@ -418,9 +507,6 @@ def _run_across(
 
 
 def cmd_run(arguments: argparse.Namespace) -> int:
-    video_name, loader = _DATASETS[arguments.dataset]
-    database: VideoDatabase = loader()
-    video = database.get(video_name)
     formula = parse(arguments.query)
     engine = RetrievalEngine(
         EngineConfig(
@@ -428,7 +514,24 @@ def cmd_run(arguments: argparse.Namespace) -> int:
             join_mode=arguments.join_mode,
         )
     )
+    if arguments.shard_dir is not None:
+        # A layout on disk replaces the built-in dataset entirely; there
+        # is no single video to resolve level names against, so only
+        # numeric levels are accepted (validated in main()).
+        from repro.shard import ShardedCorpus
+
+        corpus = ShardedCorpus.from_directory(arguments.shard_dir)
+        level = 2 if arguments.level is None else int(arguments.level)
+        return _run_across_sharded(arguments, engine, formula, corpus, level)
+    video_name, loader = _DATASETS[arguments.dataset]
+    database: VideoDatabase = loader()
+    video = database.get(video_name)
     level = _resolve_level(video, arguments.level)
+    if arguments.shards is not None:
+        from repro.shard import ShardedCorpus
+
+        corpus = ShardedCorpus.from_database(database, arguments.shards)
+        return _run_across_sharded(arguments, engine, formula, corpus, level)
     if arguments.across:
         return _run_across(arguments, engine, formula, database, level)
     budget = _run_budget(arguments)
@@ -587,6 +690,55 @@ def cmd_store(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard(arguments: argparse.Namespace) -> int:
+    from repro.store import load_layout, save_sharded
+    from repro.store.store import default_level
+
+    if arguments.shard_command == "split":
+        __, loader = _DATASETS[arguments.dataset]
+        layout = save_sharded(
+            loader(),
+            arguments.shard_dir,
+            arguments.shards,
+            keep=arguments.keep,
+        )
+        print(
+            f"split {len(layout.video_names)} video(s) into "
+            f"{layout.n_shards} shard(s) at {layout.root}"
+        )
+        for spec in layout.shards:
+            owned = ", ".join(spec.videos) if spec.videos else "(empty)"
+            print(f"  {spec.shard_id}: {owned}")
+        return 0
+    layout = load_layout(arguments.shard_dir)
+    print(
+        f"layout at {layout.root}: scheme {layout.scheme}, "
+        f"{layout.n_shards} shard(s), {len(layout.video_names)} video(s)"
+    )
+    for spec in layout.shards:
+        owned = ", ".join(spec.videos) if spec.videos else "(empty)"
+        print(f"  {spec.shard_id} ({spec.path}): {owned}")
+        if not arguments.stats:
+            continue
+        loaded = layout.store(spec).load()
+        for name in spec.videos:
+            video = loaded.database.get(name)
+            level = default_level(video)
+            stats = video.root.pictures_at_level(level).index.stats()
+            postings = ", ".join(
+                f"{family}={entry['keys']}/{entry['entries']}"
+                for family, entry in sorted(stats["postings"].items())
+                if entry["keys"]
+            )
+            print(
+                f"    {name}: {stats['n_segments']} segment(s), "
+                f"{stats['n_profiles']} profile(s) "
+                f"(dedup {stats['profile_dedup']:.0%})"
+                + (f"; postings keys/entries: {postings}" if postings else "")
+            )
+    return 0
+
+
 def cmd_datasets(arguments: argparse.Namespace) -> int:
     for key in sorted(_DATASETS):
         video_name, loader = _DATASETS[key]
@@ -613,6 +765,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--parallel requires --across")
         if arguments.lenient and not arguments.across:
             parser.error("--lenient requires --across")
+        if arguments.shards is not None and arguments.shard_dir is not None:
+            parser.error("--shards and --shard-dir are mutually exclusive")
+        if (
+            arguments.shards is not None or arguments.shard_dir is not None
+        ) and not arguments.across:
+            parser.error("--shards/--shard-dir require --across")
+        if (
+            arguments.shard_dir is not None
+            and arguments.level is not None
+            and not arguments.level.isdigit()
+        ):
+            parser.error("--shard-dir requires a numeric --level")
     handlers = {
         "classify": cmd_classify,
         "explain": cmd_explain,
@@ -621,6 +785,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sql": cmd_sql,
         "datasets": cmd_datasets,
         "store": cmd_store,
+        "shard": cmd_shard,
     }
     try:
         return handlers[arguments.command](arguments)

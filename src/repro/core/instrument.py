@@ -62,6 +62,8 @@ __all__ = [
     "STORE_SNAPSHOT_FALLBACK",
     "STORE_INDEX_REBUILT",
     "STORE_MANIFEST_RECOVERED",
+    "SHARD_LOADED",
+    "SHARD_FAILED",
     "QUERY_LATENCY",
     "VIDEO_LATENCY",
     "StageTotal",
@@ -104,6 +106,10 @@ STORE_ARTIFACT_QUARANTINED = "store-artifact-quarantined"
 STORE_SNAPSHOT_FALLBACK = "store-snapshot-fallback"
 STORE_INDEX_REBUILT = "store-index-rebuilt"
 STORE_MANIFEST_RECOVERED = "store-manifest-recovered"
+
+#: Canonical event-counter names of the sharded corpus (DESIGN.md §12).
+SHARD_LOADED = "shard-loaded"
+SHARD_FAILED = "shard-failed"
 
 #: Canonical latency-histogram names of the top-k layer (seconds).
 QUERY_LATENCY = "query-seconds"

@@ -69,6 +69,11 @@ SITE_TOPK_WORKER = "topk-worker"
 SITE_STORE_WRITE = "store-write"
 SITE_STORE_FSYNC = "store-fsync"
 SITE_STORE_READ = "store-read"
+#: Shard fault site of :mod:`repro.shard`: the load of one shard's
+#: database at scatter time.  A raise here models a dead or corrupt
+#: shard — lenient queries degrade to the surviving shards, strict
+#: queries abort with :class:`~repro.errors.ShardError`.
+SITE_SHARD_LOAD = "shard-load"
 
 FAULT_SITES = (
     SITE_INDEX_LOOKUP,
@@ -78,6 +83,7 @@ FAULT_SITES = (
     SITE_STORE_WRITE,
     SITE_STORE_FSYNC,
     SITE_STORE_READ,
+    SITE_SHARD_LOAD,
 )
 
 #: The installed fault hook (``None`` in production).  A hook is an object

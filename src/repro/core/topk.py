@@ -25,7 +25,7 @@ from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Callable, Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core import instrument, resilience, trace
 from repro.core.engine import RetrievalEngine, actual_upper_bound
@@ -153,6 +153,68 @@ def _video_bound(
 
 
 # ---------------------------------------------------------------------------
+# cross-shard bound exchange
+# ---------------------------------------------------------------------------
+class BoundExchange:
+    """A shared lower bound on the global k-th-best similarity score.
+
+    The cross-shard gather protocol (DESIGN.md §12): every shard streams
+    its evaluated entries into its *local* size-k heap as usual, but also
+    publishes the entry values here.  The exchange keeps the k best
+    published values in a min-heap, so :meth:`threshold` is the running
+    k-th-best score *across all shards* — a sound pruning floor
+    everywhere, because the final global k-th score can only be at least
+    this good.  A lagging shard therefore prunes videos against the
+    leaders' scores long before its own heap fills.
+
+    Only scalar values cross the exchange — never segments — so the
+    per-publish cost is O(entries · k) comparisons and the merge step
+    stays provenance-preserving (:meth:`TopKResult.merge`).
+
+    Thread-safe: one exchange is shared by every shard worker of a
+    scatter-gather query.
+    """
+
+    __slots__ = ("k", "_heap", "_lock", "published")
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._heap: List[float] = []
+        self._lock = threading.Lock()
+        #: Total values folded in, for observability (monotone).
+        self.published = 0
+
+    def threshold(self) -> Optional[float]:
+        """The k-th-best published value, or None before k are known."""
+        with self._lock:
+            return self._heap[0] if len(self._heap) == self.k else None
+
+    def publish(self, sim: SimilarityList) -> None:
+        """Fold one similarity list's entry values into the exchange.
+
+        An entry spanning ``n`` segments contributes ``min(n, k)``
+        candidates at its value — exactly the segments it could place in
+        a global top-k.
+        """
+        k = self.k
+        with self._lock:
+            heap = self._heap
+            for entry in sim.entries:
+                count = min(entry.end - entry.begin + 1, k)
+                for __ in range(count):
+                    if len(heap) < k:
+                        heapq.heappush(heap, entry.actual)
+                    elif entry.actual > heap[0]:
+                        heapq.heapreplace(heap, entry.actual)
+                    else:
+                        # Further copies of this value cannot improve.
+                        break
+                self.published += count
+
+
+# ---------------------------------------------------------------------------
 # per-video provenance
 # ---------------------------------------------------------------------------
 #: Outcome statuses recorded by :func:`top_k_across_videos` per video.
@@ -160,6 +222,16 @@ OUTCOME_OK = "ok"
 OUTCOME_PRUNED = "pruned"
 OUTCOME_FAILED = "failed"
 OUTCOME_TIMED_OUT = "timed-out"
+
+#: Merge precedence of conflicting outcomes for one video: an evaluated
+#: video (its segments are in hand) beats a degraded one (the damage must
+#: stay visible in the merged provenance) beats a pruned one.
+_OUTCOME_RANK = {
+    OUTCOME_OK: 3,
+    OUTCOME_FAILED: 2,
+    OUTCOME_TIMED_OUT: 2,
+    OUTCOME_PRUNED: 1,
+}
 
 
 @dataclass(frozen=True)
@@ -248,6 +320,63 @@ class TopKResult(Sequence):
             f"{len(self.outcomes)} videos{flags})"
         )
 
+    # -- merging ---------------------------------------------------------
+    @classmethod
+    def merge(
+        cls, *results: "TopKResult", k: Optional[int] = None
+    ) -> "TopKResult":
+        """Provenance-preserving union of several results.
+
+        The gather half of scatter-gather: segments are unioned,
+        deduplicated by ``(video, segment id)`` keeping the highest
+        actual value, re-ranked under the canonical total order
+        ``(-actual, video, segment id)``, and truncated to ``k`` when
+        given.  Because the top-k set under a total order is canonical,
+        merging per-shard top-k results of disjoint shards reproduces
+        the unsharded ranking exactly.
+
+        Outcomes are unioned by video.  When two results report the same
+        video (overlapping corpora, retried queries), the most
+        informative status wins: ``ok`` (we have its segments) over the
+        degraded statuses (the damage must stay visible) over
+        ``pruned``; ties keep the first-seen outcome.  ``partial`` is
+        recomputed from the merged outcomes; ``profile`` keeps the first
+        non-None span.
+        """
+        ranked: List[RetrievedSegment] = sorted(
+            (segment for result in results for segment in result.segments),
+            key=lambda s: (-s.actual, s.video, s.segment_id),
+        )
+        seen: set = set()
+        segments: List[RetrievedSegment] = []
+        for segment in ranked:
+            key = (segment.video, segment.segment_id)
+            if key in seen:
+                continue
+            seen.add(key)
+            segments.append(segment)
+            if k is not None and len(segments) == k:
+                break
+        outcomes: Dict[str, VideoOutcome] = {}
+        for result in results:
+            for outcome in result.outcomes:
+                previous = outcomes.get(outcome.video)
+                if previous is None or (
+                    _OUTCOME_RANK.get(outcome.status, 0)
+                    > _OUTCOME_RANK.get(previous.status, 0)
+                ):
+                    outcomes[outcome.video] = outcome
+        profile = next(
+            (result.profile for result in results if result.profile), None
+        )
+        merged = tuple(outcomes.values())
+        return cls(
+            segments,
+            merged,
+            partial=any(outcome.degraded for outcome in merged),
+            profile=profile,
+        )
+
     # -- provenance helpers ---------------------------------------------
     def outcome_for(self, video: str) -> Optional[VideoOutcome]:
         """The recorded outcome of one video, by name."""
@@ -275,6 +404,7 @@ def top_k_across_videos(
     policy: Optional[resilience.ResiliencePolicy] = None,
     lenient: bool = False,
     profile: bool = False,
+    exchange: Optional[BoundExchange] = None,
 ) -> TopKResult:
     """Evaluate the query on every video and rank segments globally.
 
@@ -307,19 +437,26 @@ def top_k_across_videos(
     With metrics enabled (``instrument.enable()``), query and per-video
     latencies additionally feed the ``query-seconds`` /
     ``video-seconds`` histograms.
+
+    Sharding (DESIGN.md §12): ``exchange`` shares a
+    :class:`BoundExchange` with sibling calls over other shards, so the
+    pruning floor is the running *global* k-th-best score, not just this
+    call's local heap.  Evaluated lists are published back into the
+    exchange.  The ranking this call returns is still its own corpus's
+    top-k; :meth:`TopKResult.merge` assembles the global answer.
     """
     if k <= 0:
         return TopKResult([])
     if not instrument.is_enabled():
         return _dispatch_top_k(
             engine, formula, database, k, level, parallelism, prune,
-            budget, policy, lenient, profile,
+            budget, policy, lenient, profile, exchange,
         )
     started = time.perf_counter()
     try:
         return _dispatch_top_k(
             engine, formula, database, k, level, parallelism, prune,
-            budget, policy, lenient, profile,
+            budget, policy, lenient, profile, exchange,
         )
     finally:
         instrument.observe(
@@ -327,9 +464,39 @@ def top_k_across_videos(
         )
 
 
+def top_k_within_shard(
+    engine: RetrievalEngine,
+    formula: ast.Formula,
+    database: VideoDatabase,
+    k: int,
+    level: int = 2,
+    *,
+    parallelism: Optional[int] = None,
+    prune: bool = True,
+    budget: Optional[resilience.QueryBudget] = None,
+    policy: Optional[resilience.ResiliencePolicy] = None,
+    lenient: bool = False,
+    exchange: Optional[BoundExchange] = None,
+) -> TopKResult:
+    """One shard's slice of a scatter-gather query.
+
+    Exactly :func:`top_k_across_videos` minus the query-span bookkeeping:
+    the caller (:class:`repro.shard.ShardedCorpus`) already opened the
+    query and shard spans, so per-video spans nest directly under the
+    shard (query → shard → video), and per-shard latency is not
+    double-counted into the ``query-seconds`` histogram.
+    """
+    if k <= 0:
+        return TopKResult([])
+    return _top_k_impl(
+        engine, formula, database, k, level, parallelism, prune,
+        budget, policy, lenient, exchange,
+    )
+
+
 def _dispatch_top_k(
     engine, formula, database, k, level, parallelism, prune,
-    budget, policy, lenient, profile,
+    budget, policy, lenient, profile, exchange,
 ) -> TopKResult:
     """Route the call through a query span when tracing is requested."""
     recorder = trace.current()
@@ -337,16 +504,16 @@ def _dispatch_top_k(
         if not profile:
             return _top_k_impl(
                 engine, formula, database, k, level, parallelism, prune,
-                budget, policy, lenient,
+                budget, policy, lenient, exchange,
             )
         with trace.recording() as recorder:
             return _traced_top_k(
                 recorder, engine, formula, database, k, level, parallelism,
-                prune, budget, policy, lenient,
+                prune, budget, policy, lenient, exchange,
             )
     return _traced_top_k(
         recorder, engine, formula, database, k, level, parallelism, prune,
-        budget, policy, lenient,
+        budget, policy, lenient, exchange,
     )
 
 
@@ -357,7 +524,7 @@ def _clip_query(formula: ast.Formula, limit: int = 60) -> str:
 
 def _traced_top_k(
     recorder, engine, formula, database, k, level, parallelism, prune,
-    budget, policy, lenient,
+    budget, policy, lenient, exchange,
 ) -> TopKResult:
     with recorder.span(
         trace.KIND_QUERY,
@@ -368,7 +535,7 @@ def _traced_top_k(
     ) as query_span:
         result = _top_k_impl(
             engine, formula, database, k, level, parallelism, prune,
-            budget, policy, lenient,
+            budget, policy, lenient, exchange,
         )
         result.profile = query_span
         return result
@@ -404,6 +571,24 @@ def _run_video(
         return outcome
 
 
+def _prune_floor(
+    local_worst: Optional[float], exchange: Optional[BoundExchange]
+) -> Optional[float]:
+    """The tightest admissible pruning floor currently known.
+
+    Both sources are sound lower bounds on the final k-th-best global
+    score — the local heap once it holds k segments, and the cross-shard
+    exchange once k values have been published anywhere — so their max
+    is too.
+    """
+    remote = exchange.threshold() if exchange is not None else None
+    if local_worst is None:
+        return remote
+    if remote is None:
+        return local_worst
+    return max(local_worst, remote)
+
+
 def _top_k_impl(
     engine: RetrievalEngine,
     formula: ast.Formula,
@@ -415,6 +600,7 @@ def _top_k_impl(
     budget: Optional[resilience.QueryBudget],
     policy: Optional[resilience.ResiliencePolicy],
     lenient: bool,
+    exchange: Optional[BoundExchange] = None,
 ) -> TopKResult:
     outcomes: List[VideoOutcome] = []
     ambient = resilience.current()
@@ -489,11 +675,15 @@ def _top_k_impl(
             nonlocal deadline
             if deadline is not None:
                 return VideoOutcome(video.name, OUTCOME_TIMED_OUT, deadline)
-            if prune and len(heap) == k:
-                bound = _video_bound(formula, video, level, database)
-                if bound is not None and bound < heap[0][0] - SIM_EPS:
-                    trace.annotate(bound=bound)
-                    return VideoOutcome(video.name, OUTCOME_PRUNED)
+            if prune:
+                floor = _prune_floor(
+                    heap[0][0] if len(heap) == k else None, exchange
+                )
+                if floor is not None:
+                    bound = _video_bound(formula, video, level, database)
+                    if bound is not None and bound < floor - SIM_EPS:
+                        trace.annotate(bound=bound)
+                        return VideoOutcome(video.name, OUTCOME_PRUNED)
             try:
                 sim = evaluate(video)
             except BudgetExceededError as exc:
@@ -509,6 +699,8 @@ def _top_k_impl(
                 trace.TOP_K, trace.KIND_TOPK, "stream-entries"
             ):
                 _stream_entries(heap, k, sim, video.name)
+            if exchange is not None:
+                exchange.publish(sim)
             return VideoOutcome(video.name, OUTCOME_OK)
 
         with activation:
@@ -537,9 +729,10 @@ def _top_k_impl(
         if prune:
             with lock:
                 worst = heap[0][0] if len(heap) == k else None
-            if worst is not None:
+            floor = _prune_floor(worst, exchange)
+            if floor is not None:
                 bound = _video_bound(formula, video, level, database)
-                if bound is not None and bound < worst - SIM_EPS:
+                if bound is not None and bound < floor - SIM_EPS:
                     trace.annotate(bound=bound)
                     return VideoOutcome(video.name, OUTCOME_PRUNED)
         sim = evaluate(video)
@@ -548,6 +741,8 @@ def _top_k_impl(
                 trace.TOP_K, trace.KIND_TOPK, "stream-entries"
             ):
                 _stream_entries(heap, k, sim, video.name)
+        if exchange is not None:
+            exchange.publish(sim)
         return VideoOutcome(video.name, OUTCOME_OK)
 
     def visit(video: Video) -> Optional[VideoOutcome]:

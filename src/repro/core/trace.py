@@ -57,6 +57,7 @@ __all__ = [
     "LIST_ALGEBRA",
     "TOP_K",
     "KIND_QUERY",
+    "KIND_SHARD",
     "KIND_VIDEO",
     "KIND_EVALUATE",
     "KIND_SUBFORMULA",
@@ -97,6 +98,7 @@ TOP_K = "top-k"
 #: :data:`KIND_TO_STAGE` map says which legacy stage (if any) its
 #: duration is attributed to.
 KIND_QUERY = "query"
+KIND_SHARD = "shard"
 KIND_VIDEO = "video"
 KIND_EVALUATE = "evaluate"
 KIND_SUBFORMULA = "subformula"

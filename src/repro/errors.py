@@ -195,3 +195,18 @@ class StoreCorruptionError(StoreError):
 
 class StoreVersionError(StoreError):
     """The on-disk store carries a format version this build cannot read."""
+
+
+class ShardError(StoreError):
+    """A sharded-corpus operation failed (:mod:`repro.shard`).
+
+    Raised for structural problems of a shard layout — a malformed or
+    missing ``SHARDS.json``, overlapping video ownership, an unknown
+    shard id — and, in strict mode, for a shard that could not be
+    loaded at query time (the original load failure is chained as
+    ``__cause__``).  ``shard`` names the offending shard when known.
+    """
+
+    def __init__(self, message: str, path: str = "", shard: str = ""):
+        self.shard = shard
+        super().__init__(message, path=path)

@@ -176,6 +176,41 @@ class MetadataIndex:
         """
         return self._segment_profiles
 
+    # -- introspection --------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Size summary of the index, for ``shard info`` and diagnostics.
+
+        ``postings`` maps each postings family to its key count and the
+        total number of posted segment ids; ``profile_dedup`` is the
+        fraction of segments collapsed away by content-profile sharing
+        (0.0 when every segment is unique).
+        """
+        families = {
+            "object": self._by_object,
+            "type": self._by_type,
+            "relationship": self._by_relationship,
+            "segment_attr": self._by_segment_attr,
+            "attr_name": self._by_attr_name,
+        }
+        postings = {
+            name: {
+                "keys": len(table),
+                "entries": sum(len(ids) for ids in table.values()),
+            }
+            for name, table in families.items()
+        }
+        dedup = (
+            1.0 - self.n_profiles / self.n_segments
+            if self.n_segments
+            else 0.0
+        )
+        return {
+            "n_segments": self.n_segments,
+            "n_profiles": self.n_profiles,
+            "profile_dedup": dedup,
+            "postings": postings,
+        }
+
     # -- persistence ----------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-safe document of every postings structure.

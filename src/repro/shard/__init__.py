@@ -1,0 +1,19 @@
+"""Sharded corpus: scatter-gather top-k with bound-exchange pruning.
+
+Public surface:
+
+* :class:`ShardedCorpus` — partitioned corpus front end; ``top_k`` runs
+  the scatter-gather query (DESIGN.md §12).
+* :class:`Shard` — one shard: id, owned videos, lazy loader.
+* :func:`slice_budget` — split one query budget into per-shard slices.
+
+The on-disk layout lives in :mod:`repro.store.sharding`
+(``save_sharded`` / ``load_layout``); the query-side plumbing
+(:class:`~repro.core.topk.BoundExchange`,
+:meth:`~repro.core.topk.TopKResult.merge`) lives in
+:mod:`repro.core.topk`.
+"""
+
+from repro.shard.corpus import Shard, ShardedCorpus, slice_budget
+
+__all__ = ["Shard", "ShardedCorpus", "slice_budget"]

@@ -1,0 +1,439 @@
+"""Scatter-gather top-k over a sharded corpus (DESIGN.md §12).
+
+``top_k_across_videos`` fans one thread pool over one in-process
+database, so corpus size is bounded by a single index build and a single
+snapshot load.  :class:`ShardedCorpus` is the horizontal step past that
+limit: the corpus is partitioned into N shards (each owning its own
+:class:`~repro.store.Store` snapshot directory and metadata indices, see
+:mod:`repro.store.sharding`), and a query *scatters* per-shard top-k
+evaluations over an executor, then *gathers* with
+:meth:`~repro.core.topk.TopKResult.merge`.
+
+The gather is not a passive merge: all shards share one
+:class:`~repro.core.topk.BoundExchange`, so the running global
+k-th-best score flows back into still-running shards and prunes their
+videos through the existing admissible per-video upper bounds.  A
+lagging shard full of weak videos does next to no scoring once the
+leaders have published k good values — the bound exchange is what makes
+scatter-gather cheaper than N independent queries, not just wider.
+
+Failure semantics compose with the resilience layer (DESIGN.md §8): a
+dead or corrupt shard surfaces as a batch of ``failed``
+:class:`~repro.core.topk.VideoOutcome` entries named from the layout
+manifest — lenient queries degrade to the surviving shards
+(``partial=True``), strict queries raise :class:`~repro.errors.ShardError`
+with the load failure chained.  A query budget is sliced across shards:
+the wall-clock deadline is shared (it is a point in time), the step
+ceiling is divided so the whole scatter respects the caller's total.
+
+Shards execute on a thread-pool executor: the corpus objects are
+in-process Python structures (per-shard stores load into the same
+interpreter), so threads share them for free where a process pool would
+pay a full pickle of every shard per query; the evaluation hot loops are
+the same ones ``top_k_across_videos`` already fans out.  Multi-process
+(and later multi-host) placement only changes each shard's loader.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core import instrument, resilience, trace
+from repro.core.engine import RetrievalEngine
+from repro.core.topk import (
+    OUTCOME_FAILED,
+    OUTCOME_TIMED_OUT,
+    BoundExchange,
+    TopKResult,
+    VideoOutcome,
+    top_k_within_shard,
+)
+from repro.errors import BudgetExceededError, ShardError
+from repro.htl import ast
+from repro.htl.pretty import pretty
+from repro.model.database import VideoDatabase
+from repro.store.sharding import (
+    ShardLayout,
+    load_layout,
+    shard_id,
+    split_database,
+)
+
+
+def slice_budget(
+    budget: Optional[resilience.QueryBudget], n_shards: int
+) -> List[Optional[resilience.QueryBudget]]:
+    """Derive per-shard budget slices from one query budget.
+
+    The deadline is a point in time, so every slice carries the parent's
+    *remaining* wall-clock; the step ceiling is work, so the parent's
+    remaining steps are divided across shards (remainder to the earliest
+    shards, minimum one step each).  An already-expired parent raises
+    here, before any shard is touched.
+    """
+    if budget is None:
+        return [None] * n_shards
+    budget.checkpoint("shard-scatter")
+    deadline = budget.remaining_ms()
+    if deadline is not None:
+        deadline = max(deadline, 0.001)
+    steps = None
+    if budget.max_steps is not None:
+        steps = max(1, budget.max_steps - budget.steps)
+    base, extra = divmod(steps, n_shards) if steps is not None else (0, 0)
+    slices: List[Optional[resilience.QueryBudget]] = []
+    for position in range(n_shards):
+        max_steps = None
+        if steps is not None:
+            max_steps = max(1, base + (1 if position < extra else 0))
+        slices.append(
+            resilience.QueryBudget(deadline_ms=deadline, max_steps=max_steps)
+        )
+    return slices
+
+
+class Shard:
+    """One shard: an id, the videos it owns, and a lazy database loader.
+
+    The loader runs at most once per successful load (memoized under a
+    lock); every load attempt passes the ``shard-load`` fault site first,
+    so the chaos suite can kill a shard deterministically.  Load
+    failures are not cached — a shard that recovers on disk recovers on
+    the next query.
+    """
+
+    __slots__ = ("shard_id", "videos", "_loader", "_database", "_lock")
+
+    def __init__(
+        self,
+        shard_id: str,
+        videos: Sequence[str],
+        loader: Callable[[], VideoDatabase],
+    ):
+        self.shard_id = shard_id
+        self.videos: Tuple[str, ...] = tuple(videos)
+        self._loader = loader
+        self._database: Optional[VideoDatabase] = None
+        self._lock = threading.Lock()
+
+    def database(self) -> VideoDatabase:
+        """The shard's database, loading (and memoizing) on first use."""
+        resilience.fault(resilience.SITE_SHARD_LOAD)
+        with self._lock:
+            if self._database is None:
+                self._database = self._loader()
+                instrument.count(instrument.SHARD_LOADED)
+                trace.event(instrument.SHARD_LOADED, self.shard_id)
+            return self._database
+
+    def __repr__(self) -> str:
+        return f"Shard({self.shard_id!r}, {len(self.videos)} videos)"
+
+
+def _store_loader(
+    layout: ShardLayout, spec, verify: bool, keep: int
+) -> Callable[[], VideoDatabase]:
+    def load() -> VideoDatabase:
+        loaded = layout.store(spec, keep=keep).load(verify=verify)
+        owned = set(spec.videos)
+        held = set(loaded.database.names())
+        if held != owned:
+            raise ShardError(
+                f"shard {spec.shard_id} loaded snapshot "
+                f"{loaded.snapshot_id} holding {sorted(held)} but the "
+                f"layout assigns it {sorted(owned)}",
+                path=layout.store_path(spec),
+                shard=spec.shard_id,
+            )
+        return loaded.database
+
+    return load
+
+
+class ShardedCorpus:
+    """A corpus partitioned into shards, queried by scatter-gather top-k."""
+
+    def __init__(self, shards: Sequence[Shard]):
+        if not shards:
+            raise ShardError("a sharded corpus needs at least one shard")
+        seen_ids = set()
+        owners = {}
+        for shard in shards:
+            if shard.shard_id in seen_ids:
+                raise ShardError(
+                    f"duplicate shard id {shard.shard_id!r}",
+                    shard=shard.shard_id,
+                )
+            seen_ids.add(shard.shard_id)
+            for name in shard.videos:
+                if name in owners:
+                    raise ShardError(
+                        f"video {name!r} owned by both {owners[name]!r} "
+                        f"and {shard.shard_id!r}",
+                        shard=shard.shard_id,
+                    )
+                owners[name] = shard.shard_id
+        self.shards: Tuple[Shard, ...] = tuple(shards)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_database(
+        cls, database: VideoDatabase, n_shards: int
+    ) -> "ShardedCorpus":
+        """Partition an in-memory database (round-robin, no disk)."""
+        parts = split_database(database, n_shards)
+        return cls(
+            [
+                Shard(
+                    shard_id(position),
+                    part.names(),
+                    lambda part=part: part,
+                )
+                for position, part in enumerate(parts)
+            ]
+        )
+
+    @classmethod
+    def from_directory(
+        cls, root, *, verify: bool = True, keep: int = 2
+    ) -> "ShardedCorpus":
+        """Open a sharded store layout written by
+        :func:`repro.store.sharding.save_sharded`.
+
+        Only the layout manifest is read here; each shard's store loads
+        lazily on first query, with the store's own corruption recovery
+        underneath and ownership cross-checked against the manifest.
+        """
+        layout = load_layout(root)
+        return cls(
+            [
+                Shard(
+                    spec.shard_id,
+                    spec.videos,
+                    _store_loader(layout, spec, verify, keep),
+                )
+                for spec in layout.shards
+            ]
+        )
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def video_names(self) -> List[str]:
+        return [name for shard in self.shards for name in shard.videos]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedCorpus({self.n_shards} shards, "
+            f"{len(self.video_names)} videos)"
+        )
+
+    # -- the query -------------------------------------------------------
+    def top_k(
+        self,
+        engine: RetrievalEngine,
+        formula: ast.Formula,
+        k: int,
+        level: int = 2,
+        *,
+        parallelism: Optional[int] = None,
+        prune: bool = True,
+        bound_exchange: bool = True,
+        budget: Optional[resilience.QueryBudget] = None,
+        policy: Optional[resilience.ResiliencePolicy] = None,
+        lenient: bool = False,
+        profile: bool = False,
+    ) -> TopKResult:
+        """Scatter the query over every shard and gather the global top-k.
+
+        ``parallelism`` is the number of *shard* workers running
+        concurrently (videos within a shard evaluate serially; the
+        per-video thread pool and the per-shard executor compose badly,
+        and shards are the coarser, better-balanced unit).
+        ``bound_exchange=False`` degrades to naive scatter-gather —
+        every shard prunes only against its own heap — which is the
+        measured baseline of ``benchmarks/bench_shards.py``, not a mode
+        anyone should serve from.
+
+        Rankings are identical to the unsharded serial scan: per-shard
+        top-k sets are exact for their videos (exchange pruning only
+        skips videos that cannot crack the *global* k-th score), and the
+        merge of exact disjoint top-k sets under the canonical total
+        order is the global top-k.
+        """
+        if k <= 0:
+            return TopKResult([])
+        recorder = trace.current()
+        if recorder is None and profile:
+            with trace.recording() as recorder:
+                return self._traced_top_k(
+                    recorder, engine, formula, k, level, parallelism,
+                    prune, bound_exchange, budget, policy, lenient,
+                )
+        if recorder is not None:
+            return self._traced_top_k(
+                recorder, engine, formula, k, level, parallelism, prune,
+                bound_exchange, budget, policy, lenient,
+            )
+        return self._gather(
+            engine, formula, k, level, parallelism, prune, bound_exchange,
+            budget, policy, lenient,
+        )
+
+    def _traced_top_k(
+        self, recorder, engine, formula, k, level, parallelism, prune,
+        bound_exchange, budget, policy, lenient,
+    ) -> TopKResult:
+        text = pretty(formula)
+        if len(text) > 60:
+            text = text[:57] + "..."
+        with recorder.span(
+            trace.KIND_QUERY,
+            f"sharded top-{k}: {text}",
+            k=k,
+            level=level,
+            shards=self.n_shards,
+            exchange=bound_exchange,
+        ) as query_span:
+            result = self._gather(
+                engine, formula, k, level, parallelism, prune,
+                bound_exchange, budget, policy, lenient,
+            )
+            result.profile = query_span
+            return result
+
+    def _lenient(self, policy, lenient) -> bool:
+        if lenient or (policy is not None and policy.lenient):
+            return True
+        ambient = resilience.current()
+        return ambient is not None and ambient.policy.lenient
+
+    def _gather(
+        self, engine, formula, k, level, parallelism, prune,
+        bound_exchange, budget, policy, lenient,
+    ) -> TopKResult:
+        exchange = (
+            BoundExchange(k) if (prune and bound_exchange) else None
+        )
+        slices = slice_budget(budget, self.n_shards)
+        strict = not self._lenient(policy, lenient)
+
+        def run_shard(shard: Shard, budget_slice) -> TopKResult:
+            recorder = trace.current()
+            span = (
+                recorder.span(
+                    trace.KIND_SHARD, shard.shard_id, videos=len(shard.videos)
+                )
+                if recorder is not None
+                else nullcontext()
+            )
+            with span:
+                try:
+                    database = shard.database()
+                except Exception as error:
+                    instrument.count(instrument.SHARD_FAILED)
+                    trace.event(
+                        instrument.SHARD_FAILED,
+                        f"{shard.shard_id}: {type(error).__name__}",
+                    )
+                    failure = ShardError(
+                        f"shard {shard.shard_id} failed to load: {error}",
+                        shard=shard.shard_id,
+                    )
+                    failure.__cause__ = error
+                    if strict:
+                        raise failure
+                    # The layout manifest names the dead shard's videos,
+                    # so the degradation is visible per video even though
+                    # the shard's own store never answered.
+                    return TopKResult(
+                        [],
+                        [
+                            VideoOutcome(name, OUTCOME_FAILED, failure)
+                            for name in shard.videos
+                        ],
+                        partial=True,
+                    )
+                return top_k_within_shard(
+                    engine,
+                    formula,
+                    database,
+                    k,
+                    level,
+                    parallelism=None,
+                    prune=prune,
+                    budget=budget_slice,
+                    policy=policy,
+                    lenient=not strict,
+                    exchange=exchange,
+                )
+
+        if parallelism is None or parallelism <= 1:
+            results = [
+                run_shard(shard, budget_slice)
+                for shard, budget_slice in zip(self.shards, slices)
+            ]
+            return TopKResult.merge(*results, k=k)
+
+        # Workers adopt the submitting thread's trace position so shard
+        # spans stay children of this query's span.
+        token = trace.capture()
+
+        def visit(shard: Shard, budget_slice) -> TopKResult:
+            with trace.adopt(token):
+                return run_shard(shard, budget_slice)
+
+        results: List[TopKResult] = []
+        fatal: Optional[BaseException] = None
+        workers = min(parallelism, self.n_shards)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (shard, pool.submit(visit, shard, budget_slice))
+                for shard, budget_slice in zip(self.shards, slices)
+            ]
+            for shard, future in futures:
+                if fatal is not None and future.cancel():
+                    results.append(
+                        TopKResult(
+                            [],
+                            [
+                                VideoOutcome(
+                                    name, OUTCOME_TIMED_OUT, fatal
+                                )
+                                for name in shard.videos
+                            ],
+                            partial=True,
+                        )
+                    )
+                    continue
+                try:
+                    results.append(future.result())
+                except BudgetExceededError as exc:
+                    if fatal is None:
+                        fatal = exc
+                    results.append(
+                        TopKResult(
+                            [],
+                            [
+                                VideoOutcome(name, OUTCOME_TIMED_OUT, exc)
+                                for name in shard.videos
+                            ],
+                            partial=True,
+                        )
+                    )
+                except Exception as exc:
+                    # Only strict workers raise; stop the scatter.
+                    if fatal is None:
+                        fatal = exc
+        if fatal is not None and strict:
+            raise fatal
+        return TopKResult.merge(*results, k=k)

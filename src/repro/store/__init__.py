@@ -10,6 +10,9 @@ Public surface:
 * The result records (:class:`StoreLoad`, :class:`VerifyReport`,
   :class:`RepairReport`, :class:`SnapshotInfo`, :class:`RecoveryAction`,
   :class:`ArtifactStatus`) carrying recovery provenance.
+* The per-shard layout (:mod:`repro.store.sharding`):
+  :func:`save_sharded` / :func:`load_layout` partition a corpus into N
+  shard stores under one ``SHARDS.json`` manifest (DESIGN.md §12).
 """
 
 from repro.store.atomic import (
@@ -37,6 +40,17 @@ from repro.store.store import (
     VerifyReport,
     default_level,
 )
+from repro.store.sharding import (
+    SCHEME_ROUND_ROBIN,
+    SHARD_FORMAT_VERSION,
+    SHARDS_MANIFEST,
+    ShardLayout,
+    ShardSpec,
+    load_layout,
+    partition_names,
+    save_sharded,
+    split_database,
+)
 
 __all__ = [
     "ATOMICS_ARTIFACT",
@@ -44,12 +58,17 @@ __all__ = [
     "INDEX_ARTIFACT",
     "MANIFEST_NAME",
     "REQUIRED_ARTIFACTS",
+    "SCHEME_ROUND_ROBIN",
+    "SHARDS_MANIFEST",
+    "SHARD_FORMAT_VERSION",
     "SNAPSHOT_MANIFEST",
     "STORE_FORMAT_VERSION",
     "VIDEOS_ARTIFACT",
     "ArtifactStatus",
     "RecoveryAction",
     "RepairReport",
+    "ShardLayout",
+    "ShardSpec",
     "SnapshotInfo",
     "Store",
     "StoreLoad",
@@ -59,5 +78,9 @@ __all__ = [
     "canonical_json_bytes",
     "default_level",
     "fsync_directory",
+    "load_layout",
+    "partition_names",
+    "save_sharded",
     "sha256_hex",
+    "split_database",
 ]

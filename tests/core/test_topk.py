@@ -469,3 +469,159 @@ class TestParallelCancellation:
         )
         assert parallel == serial
         assert not parallel.partial
+
+# ---------------------------------------------------------------------------
+# sharding primitives: provenance-preserving merge, bound exchange
+# ---------------------------------------------------------------------------
+from repro.core import trace  # noqa: E402
+from repro.core.intervals import Interval  # noqa: E402
+from repro.core.simlist import SimEntry, SimilarityList  # noqa: E402
+from repro.core.topk import BoundExchange, RetrievedSegment  # noqa: E402
+
+
+def _seg(video, segment_id, actual, maximum=20.0):
+    return RetrievedSegment(video, segment_id, actual, maximum)
+
+
+class TestTopKResultMerge:
+    def test_disjoint_union_reranks_canonically(self):
+        left = TopKResult(
+            [_seg("a", 1, 9.0), _seg("a", 2, 3.0)],
+            [VideoOutcome("a", OUTCOME_OK)],
+        )
+        right = TopKResult(
+            [_seg("b", 7, 5.0)], [VideoOutcome("b", OUTCOME_OK)]
+        )
+        merged = TopKResult.merge(left, right)
+        assert [(s.video, s.segment_id) for s in merged] == [
+            ("a", 1), ("b", 7), ("a", 2),
+        ]
+        assert sorted(o.video for o in merged.outcomes) == ["a", "b"]
+        assert not merged.partial
+
+    def test_truncates_to_k(self):
+        left = TopKResult([_seg("a", i, 10.0 - i) for i in range(1, 6)])
+        right = TopKResult([_seg("b", i, 9.5 - i) for i in range(1, 6)])
+        merged = TopKResult.merge(left, right, k=3)
+        assert [(s.video, s.segment_id) for s in merged] == [
+            ("a", 1), ("b", 1), ("a", 2),
+        ]
+
+    def test_ties_break_by_video_then_segment(self):
+        left = TopKResult([_seg("b", 2, 5.0), _seg("b", 1, 5.0)])
+        right = TopKResult([_seg("a", 9, 5.0)])
+        merged = TopKResult.merge(left, right)
+        assert [(s.video, s.segment_id) for s in merged] == [
+            ("a", 9), ("b", 1), ("b", 2),
+        ]
+
+    def test_duplicate_video_segment_keeps_highest_actual(self):
+        # Overlapping corpora (e.g. a retried shard): the same segment
+        # reported twice must appear once, at its best score.
+        left = TopKResult([_seg("a", 1, 4.0)])
+        right = TopKResult([_seg("a", 1, 6.0), _seg("a", 2, 1.0)])
+        merged = TopKResult.merge(left, right)
+        assert [(s.video, s.segment_id, s.actual) for s in merged] == [
+            ("a", 1, 6.0), ("a", 2, 1.0),
+        ]
+
+    def test_conflicting_outcomes_most_informative_wins(self):
+        error = RuntimeError("boom")
+        ok_then_failed = TopKResult.merge(
+            TopKResult([], [VideoOutcome("a", OUTCOME_OK)]),
+            TopKResult([], [VideoOutcome("a", OUTCOME_FAILED, error)]),
+        )
+        # ok beats failed regardless of order...
+        assert ok_then_failed.outcomes[0].status == OUTCOME_OK
+        failed_then_ok = TopKResult.merge(
+            TopKResult([], [VideoOutcome("a", OUTCOME_FAILED, error)]),
+            TopKResult([], [VideoOutcome("a", OUTCOME_OK)]),
+        )
+        assert failed_then_ok.outcomes[0].status == OUTCOME_OK
+        # ...failed beats pruned (damage stays visible)...
+        merged = TopKResult.merge(
+            TopKResult([], [VideoOutcome("a", OUTCOME_PRUNED)]),
+            TopKResult([], [VideoOutcome("a", OUTCOME_FAILED, error)]),
+        )
+        assert merged.outcomes[0].status == OUTCOME_FAILED
+        assert merged.outcomes[0].error is error
+        assert merged.partial
+        # ...and equal ranks keep the first-seen outcome.
+        first = VideoOutcome("a", OUTCOME_FAILED, RuntimeError("first"))
+        second = VideoOutcome("a", OUTCOME_TIMED_OUT, RuntimeError("second"))
+        merged = TopKResult.merge(
+            TopKResult([], [first]), TopKResult([], [second])
+        )
+        assert merged.outcomes[0] is first
+
+    def test_partial_recomputed_from_merged_outcomes(self):
+        healthy = TopKResult([], [VideoOutcome("a", OUTCOME_OK)])
+        degraded = TopKResult(
+            [],
+            [VideoOutcome("b", OUTCOME_TIMED_OUT, TimeoutError())],
+            partial=True,
+        )
+        assert not TopKResult.merge(healthy, healthy).partial
+        assert TopKResult.merge(healthy, degraded).partial
+
+    def test_profile_keeps_first_span(self):
+        with trace.recording() as recorder:
+            with recorder.span(trace.KIND_QUERY, "q") as span:
+                pass
+        first = TopKResult([], profile=span)
+        second = TopKResult([])
+        assert TopKResult.merge(second, first).profile is span
+        assert TopKResult.merge(first, second).profile is span
+
+    def test_empty_merge(self):
+        merged = TopKResult.merge()
+        assert merged == []
+        assert not merged.outcomes
+        assert not merged.partial
+
+
+class TestBoundExchange:
+    def test_no_threshold_before_k_published(self):
+        exchange = BoundExchange(3)
+        assert exchange.threshold() is None
+        exchange.publish(
+            SimilarityList.from_raw([SimEntry(Interval(1, 2), 4.0)], 20.0)
+        )
+        # Only 2 candidate values so far — below k, still no threshold.
+        assert exchange.threshold() is None
+
+    def test_threshold_is_kth_best(self):
+        exchange = BoundExchange(2)
+        entries = [
+            SimEntry(Interval(1, 1), 5.0),
+            SimEntry(Interval(2, 2), 9.0),
+            SimEntry(Interval(3, 3), 7.0),
+        ]
+        exchange.publish(SimilarityList.from_raw(entries, 20.0))
+        assert exchange.threshold() == pytest.approx(7.0)
+
+    def test_runs_count_per_segment(self):
+        # A run of 4 segments at one value is 4 candidate answers.
+        exchange = BoundExchange(3)
+        exchange.publish(
+            SimilarityList.from_raw([SimEntry(Interval(1, 4), 6.0)], 20.0)
+        )
+        assert exchange.threshold() == pytest.approx(6.0)
+
+    def test_threshold_only_improves(self):
+        exchange = BoundExchange(1)
+        exchange.publish(
+            SimilarityList.from_raw([SimEntry(Interval(1, 1), 3.0)], 20.0)
+        )
+        exchange.publish(
+            SimilarityList.from_raw([SimEntry(Interval(1, 1), 1.0)], 20.0)
+        )
+        assert exchange.threshold() == pytest.approx(3.0)
+        exchange.publish(
+            SimilarityList.from_raw([SimEntry(Interval(1, 1), 8.0)], 20.0)
+        )
+        assert exchange.threshold() == pytest.approx(8.0)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundExchange(0)

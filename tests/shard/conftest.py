@@ -1,0 +1,39 @@
+"""Shared corpus builders for the shard suite."""
+
+import random
+
+import pytest
+
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata
+from repro.workloads.synthetic import random_similarity_list
+
+
+def graded_corpus(n_videos=9, n_segments=40, seed=1997, density=0.1):
+    """Videos with *different* similarity ceilings so pruning has teeth."""
+    rng = random.Random(seed)
+    database = VideoDatabase()
+    for position in range(n_videos):
+        video = flat_video(
+            f"vid{position:02d}",
+            [SegmentMetadata() for __ in range(n_segments)],
+        )
+        database.add(video)
+        for name in ("P1", "P2"):
+            database.register_atomic(
+                name,
+                video.name,
+                random_similarity_list(
+                    n_segments,
+                    satisfy_fraction=density,
+                    maximum=2.0 + 1.5 * position,
+                    rng=rng,
+                ),
+            )
+    return database
+
+
+@pytest.fixture
+def corpus():
+    return graded_corpus()

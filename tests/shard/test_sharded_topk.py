@@ -1,0 +1,225 @@
+"""Scatter-gather top-k: identity, budgets, tracing, bound exchange."""
+
+import pytest
+
+from repro.core import instrument, resilience, trace
+from repro.core.engine import RetrievalEngine
+from repro.core.topk import (
+    OUTCOME_OK,
+    OUTCOME_PRUNED,
+    OUTCOME_TIMED_OUT,
+    top_k_across_videos,
+)
+from repro.errors import BudgetExceededError
+from repro.htl import parse
+from repro.shard import ShardedCorpus, slice_budget
+
+from tests.shard.conftest import graded_corpus
+
+FORMULAS = ["$P1 and $P2", "$P1 until $P2", "$P1 and eventually $P2"]
+
+
+def unsharded(corpus, text, k):
+    return top_k_across_videos(
+        RetrievalEngine(), parse(text), corpus, k, prune=False
+    )
+
+
+class TestRankingIdentity:
+    @pytest.mark.parametrize("text", FORMULAS)
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 9])
+    def test_identical_to_serial_unsharded(self, corpus, text, n_shards):
+        expected = unsharded(corpus, text, 10)
+        sharded = ShardedCorpus.from_database(corpus, n_shards)
+        got = sharded.top_k(RetrievalEngine(), parse(text), 10)
+        assert got == expected
+
+    @pytest.mark.parametrize("parallelism", [None, 2, 8])
+    @pytest.mark.parametrize("bound_exchange", [True, False])
+    def test_parallel_and_exchange_flags(
+        self, corpus, parallelism, bound_exchange
+    ):
+        expected = unsharded(corpus, "$P1 and $P2", 7)
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        got = sharded.top_k(
+            RetrievalEngine(),
+            parse("$P1 and $P2"),
+            7,
+            parallelism=parallelism,
+            bound_exchange=bound_exchange,
+        )
+        assert got == expected
+
+    def test_more_shards_than_videos(self):
+        corpus = graded_corpus(n_videos=3)
+        expected = unsharded(corpus, "$P1", 5)
+        sharded = ShardedCorpus.from_database(corpus, 8)
+        assert sharded.top_k(RetrievalEngine(), parse("$P1"), 5) == expected
+
+    def test_k_zero(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        result = sharded.top_k(RetrievalEngine(), parse("$P1"), 0)
+        assert result == []
+        assert not result.outcomes
+
+    def test_k_larger_than_corpus(self, corpus):
+        expected = unsharded(corpus, "$P1", 100_000)
+        sharded = ShardedCorpus.from_database(corpus, 4)
+        got = sharded.top_k(RetrievalEngine(), parse("$P1"), 100_000)
+        assert got == expected
+
+
+class TestBoundExchangePruning:
+    def test_exchange_prunes_more_than_local_heaps(self, corpus):
+        engine = RetrievalEngine()
+        formula = parse("$P1 and $P2")
+        sharded = ShardedCorpus.from_database(corpus, 4)
+        naive = sharded.top_k(
+            engine, formula, 3, parallelism=None, bound_exchange=False
+        )
+        exchanged = sharded.top_k(
+            engine, formula, 3, parallelism=None, bound_exchange=True
+        )
+        assert naive == exchanged
+
+        def evaluated(result):
+            return sum(
+                1 for o in result.outcomes if o.status == OUTCOME_OK
+            )
+
+        assert evaluated(exchanged) < evaluated(naive)
+        # Pruning is never a degradation.
+        assert not exchanged.partial
+        assert all(
+            o.status in (OUTCOME_OK, OUTCOME_PRUNED)
+            for o in exchanged.outcomes
+        )
+
+    def test_prune_false_disables_the_exchange(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        result = sharded.top_k(
+            RetrievalEngine(), parse("$P1 and $P2"), 5, prune=False
+        )
+        assert all(o.status == OUTCOME_OK for o in result.outcomes)
+
+
+class TestBudgetSlicing:
+    def test_no_budget_means_no_slices(self):
+        assert slice_budget(None, 3) == [None, None, None]
+
+    def test_steps_divided_with_remainder_to_early_shards(self):
+        parent = resilience.QueryBudget(max_steps=10)
+        slices = slice_budget(parent, 3)
+        assert [piece.max_steps for piece in slices] == [4, 3, 3]
+
+    def test_minimum_one_step_each(self):
+        parent = resilience.QueryBudget(max_steps=2)
+        slices = slice_budget(parent, 4)
+        assert all(piece.max_steps >= 1 for piece in slices)
+
+    def test_deadline_is_shared_wall_clock(self):
+        parent = resilience.QueryBudget(deadline_ms=60_000)
+        slices = slice_budget(parent, 2)
+        for piece in slices:
+            assert piece.deadline_ms is not None
+            assert piece.deadline_ms <= 60_000
+
+    def test_expired_parent_raises_before_scatter(self):
+        import time
+
+        parent = resilience.QueryBudget(deadline_ms=0.5)
+        time.sleep(0.01)
+        with pytest.raises(BudgetExceededError):
+            slice_budget(parent, 2)
+
+    def test_strict_budget_overrun_propagates(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        with pytest.raises(BudgetExceededError):
+            sharded.top_k(
+                RetrievalEngine(),
+                parse("$P1 and $P2"),
+                5,
+                budget=resilience.QueryBudget(max_steps=3),
+            )
+
+    def test_lenient_budget_overrun_degrades(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        result = sharded.top_k(
+            RetrievalEngine(),
+            parse("$P1 and $P2"),
+            5,
+            budget=resilience.QueryBudget(max_steps=3),
+            lenient=True,
+        )
+        assert result.partial
+        assert any(
+            o.status == OUTCOME_TIMED_OUT for o in result.outcomes
+        )
+
+    def test_generous_budget_changes_nothing(self, corpus):
+        expected = unsharded(corpus, "$P1 and $P2", 6)
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        got = sharded.top_k(
+            RetrievalEngine(),
+            parse("$P1 and $P2"),
+            6,
+            budget=resilience.QueryBudget(
+                deadline_ms=120_000, max_steps=1_000_000
+            ),
+        )
+        assert got == expected
+
+
+class TestObservability:
+    def test_profile_has_query_shard_video_spans(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 3)
+        result = sharded.top_k(
+            RetrievalEngine(), parse("$P1"), 4, profile=True
+        )
+        root = result.profile
+        assert root is not None
+        assert root.kind == trace.KIND_QUERY
+        shard_spans = [
+            node for node in root.children
+            if node.kind == trace.KIND_SHARD
+        ]
+        assert [node.name for node in shard_spans] == [
+            shard.shard_id for shard in sharded.shards
+        ]
+        assert any(
+            child.kind == trace.KIND_VIDEO
+            for node in shard_spans
+            for child in node.children
+        )
+        # No nested per-shard query spans — the query span is the root.
+        assert not any(
+            node.kind == trace.KIND_QUERY for node in list(root.walk())[1:]
+        )
+
+    def test_parallel_spans_keep_parentage(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 4)
+        result = sharded.top_k(
+            RetrievalEngine(), parse("$P1"), 4, parallelism=4, profile=True
+        )
+        shard_spans = [
+            node for node in result.profile.children
+            if node.kind == trace.KIND_SHARD
+        ]
+        assert len(shard_spans) == 4
+
+    def test_shard_loaded_counter(self, corpus):
+        was_enabled = instrument.is_enabled()
+        instrument.enable()
+        try:
+            sharded = ShardedCorpus.from_database(corpus, 3)
+            sharded.top_k(RetrievalEngine(), parse("$P1"), 2)
+            counters = instrument.counters()
+        finally:
+            if not was_enabled:
+                instrument.disable()
+        assert counters.get(instrument.SHARD_LOADED) == 3
+
+    def test_database_load_is_memoized(self, corpus):
+        sharded = ShardedCorpus.from_database(corpus, 2)
+        shard = sharded.shards[0]
+        assert shard.database() is shard.database()

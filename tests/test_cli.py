@@ -353,3 +353,103 @@ class TestStore:
         with pytest.raises(SystemExit) as excinfo:
             main(["store"])
         assert excinfo.value.code == 2
+
+
+class TestShard:
+    def test_split_then_info_workflow(self, capsys, tmp_path):
+        root = str(tmp_path / "layout")
+        code, out, __ = run_cli(
+            capsys, "shard", "split", "--dir", root,
+            "--dataset", "western", "--shards", "2",
+        )
+        assert code == 0
+        assert "2 shard(s)" in out
+        assert "shard-000" in out and "shard-001" in out
+        code, out, __ = run_cli(capsys, "shard", "info", "--dir", root)
+        assert code == 0
+        assert "round-robin" in out
+        assert "4 video(s)" in out
+
+    def test_info_stats_prints_index_sizes(self, capsys, tmp_path):
+        root = str(tmp_path / "layout")
+        run_cli(
+            capsys, "shard", "split", "--dir", root,
+            "--dataset", "western", "--shards", "2",
+        )
+        code, out, __ = run_cli(
+            capsys, "shard", "info", "--dir", root, "--stats"
+        )
+        assert code == 0
+        assert "segment(s)" in out
+        assert "profile(s)" in out
+
+    def test_run_against_shard_dir(self, capsys, tmp_path):
+        root = str(tmp_path / "layout")
+        run_cli(
+            capsys, "shard", "split", "--dir", root,
+            "--dataset", "western", "--shards", "2",
+        )
+        code, out, __ = run_cli(
+            capsys, "run", "--across", "--top", "3", "--shard-dir", root,
+            "exists x . present(x)",
+        )
+        assert code == 0
+        assert "scatter-gather over 2 shard(s)" in out
+        assert "Top 3 segments across 4 videos" in out
+
+    def test_run_with_inline_shards_matches_unsharded(self, capsys):
+        query = "atomic('Man-Woman') and eventually atomic('Moving-Train')"
+        code, plain, __ = run_cli(
+            capsys, "run", "--across", "--top", "3", query
+        )
+        assert code == 0
+        code, sharded, __ = run_cli(
+            capsys, "run", "--across", "--top", "3", "--shards", "2", query
+        )
+        assert code == 0
+        # Identical ranking lines; the sharded run adds only its header.
+        assert sharded.splitlines()[1:] == plain.splitlines()
+
+    def test_missing_layout_maps_to_shard_exit_code(self, capsys, tmp_path):
+        code, __, err = run_cli(
+            capsys, "run", "--across", "--top", "2",
+            "--shard-dir", str(tmp_path / "nothing"), "atomic('P1')",
+        )
+        assert code == EXIT_CODES[errors.ShardError] == 27
+        assert "no shard layout" in err
+
+    def test_shards_require_across(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--top", "2", "--shards", "2", "atomic('P1')"])
+        assert excinfo.value.code == 2
+
+    def test_shards_and_shard_dir_mutually_exclusive(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "run", "--across", "--top", "2", "--shards", "2",
+                "--shard-dir", str(tmp_path), "atomic('P1')",
+            ])
+        assert excinfo.value.code == 2
+
+    def test_shard_dir_rejects_named_level(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "run", "--across", "--top", "2", "--shard-dir",
+                str(tmp_path), "--level", "scene", "atomic('P1')",
+            ])
+        assert excinfo.value.code == 2
+
+    def test_zero_shards_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--across", "--top", "2", "--shards", "0", "x"])
+        assert excinfo.value.code == 2
+
+    def test_shard_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["shard"])
+        assert excinfo.value.code == 2
+
+    def test_shard_error_exit_code_is_distinct(self):
+        codes = list(EXIT_CODES.values())
+        assert len(set(codes)) == len(codes)
+        assert exit_code_for(errors.ShardError("x")) == 27
