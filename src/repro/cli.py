@@ -171,6 +171,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="apply the rewrite rules before explaining",
     )
+    explain_cmd.add_argument(
+        "--plan",
+        action="store_true",
+        help="compile and show the cost-based query plan against a dataset "
+        "(evaluation order, per-atom strategy, estimated vs. observed cost)",
+    )
+    explain_cmd.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default="casablanca",
+        help="dataset whose index statistics the plan is built from "
+        "(default: casablanca; only with --plan)",
+    )
+    explain_cmd.add_argument(
+        "--level",
+        default=None,
+        type=_level_argument,
+        help="level to plan the query at (default: 2; only with --plan)",
+    )
+    explain_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="print the plan as JSON (only with --plan)",
+    )
 
     run = commands.add_parser("run", help="evaluate a query on a dataset")
     run.add_argument("query", help="HTL query text")
@@ -436,9 +460,45 @@ def cmd_explain(arguments: argparse.Namespace) -> int:
     if arguments.optimize:
         optimized = optimize(formula)
         if optimized != formula:
-            print(f"rewritten: {pretty(optimized)}\n")
+            if not arguments.json:
+                print(f"rewritten: {pretty(optimized)}\n")
         formula = optimized
+    if arguments.plan:
+        return _explain_plan(arguments, formula)
     print(explain(formula))
+    return 0
+
+
+def _explain_plan(arguments: argparse.Namespace, formula) -> int:
+    """Compile the query's cost-based plan against a dataset and print it.
+
+    The query is also evaluated once so the report can put the observed
+    wall-clock next to the cost model's estimate — the pair the adaptive
+    re-planner compares.
+    """
+    import json
+
+    video_name, loader = _DATASETS[arguments.dataset]
+    database: VideoDatabase = loader()
+    video = database.get(video_name)
+    level = _resolve_level(video, arguments.level)
+    engine = RetrievalEngine()
+    pictures = video.root.pictures_at_level(level)
+    plan = engine.planner.plan_for(
+        formula, pictures, level, engine.config, generation=database.generation
+    )
+    engine.evaluate_video(formula, video, level=level, database=database)
+    if arguments.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"plan for {video_name!r} at level {level}:")
+    print(plan.describe())
+    stats = engine.planner.stats
+    print(
+        f"planner: {stats.plans_built} plan(s) built, "
+        f"{stats.cache_hits} cache hit(s), "
+        f"{stats.support_probes} support probe(s)"
+    )
     return 0
 
 

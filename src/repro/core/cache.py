@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
 from repro.core.simlist import SimilarityList
 from repro.core.tables import SimilarityTable
@@ -41,6 +41,8 @@ from repro.core.tables import SimilarityTable
 #: small and numerous; whole-query lists are fewer and larger.
 DEFAULT_MAX_TABLES = 4096
 DEFAULT_MAX_LISTS = 1024
+#: Compiled query plans are tiny (decision maps over structural keys).
+DEFAULT_MAX_PLANS = 512
 
 
 @dataclass(frozen=True)
@@ -170,5 +172,96 @@ class EvaluationCache:
         return (
             f"EvaluationCache(tables={stats.table_entries}, "
             f"lists={stats.list_entries}, hits={stats.hits}, "
+            f"misses={stats.misses})"
+        )
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """A snapshot of plan-cache effectiveness counters."""
+
+    hits: int
+    misses: int
+    invalidations: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache:
+    """Bounded, generation-invalidated memo for compiled query plans.
+
+    Structurally a sibling of :class:`EvaluationCache` — same FIFO
+    eviction, same generation-counter ``sync`` — but values are opaque
+    (:class:`repro.core.planner.QueryPlan` objects; typed ``Any`` here so
+    the cache layer never imports the planner) and entries can also be
+    dropped *individually*: adaptive re-planning retires exactly the plan
+    whose estimates drifted, keeping the rest warm.
+    """
+
+    def __init__(self, max_plans: int = DEFAULT_MAX_PLANS):
+        self._lock = threading.Lock()
+        self._generation: Optional[int] = None
+        self._plans: Dict[Hashable, Any] = {}
+        self.max_plans = max_plans
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    def sync(self, generation: int) -> None:
+        """Observe the database generation; drop everything on a change."""
+        with self._lock:
+            if self._generation is None:
+                self._generation = generation
+            elif self._generation != generation:
+                self._plans.clear()
+                self._invalidations += 1
+                self._generation = generation
+
+    def clear(self) -> None:
+        """Drop all cached plans (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one plan (adaptive re-plan); True if it was cached."""
+        with self._lock:
+            if key in self._plans:
+                del self._plans[key]
+                self._invalidations += 1
+                return True
+            return False
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return plan
+
+    def put(self, key: Hashable, plan: Any) -> None:
+        with self._lock:
+            while len(self._plans) >= self.max_plans:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidations=self._invalidations,
+                entries=len(self._plans),
+            )
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"PlanCache(entries={stats.entries}, hits={stats.hits}, "
             f"misses={stats.misses})"
         )

@@ -17,26 +17,38 @@ Two evaluation modes (DESIGN.md §2):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.core import extensions, ops, resilience, trace
+from repro.core import extensions, ops, planner as planning, resilience, trace
 from repro.core.cache import EvaluationCache
 from repro.core.explain import describe_node
 from repro.core.simlist import SimilarityList, SimilarityValue
 from repro.core.tables import INNER, OUTER, SimilarityTable, TableRow
 from repro.core.value_tables import build_value_table, freeze_join
-from repro.errors import HTLTypeError, UnsupportedFormulaError
+from repro.errors import (
+    BudgetExceededError,
+    HTLTypeError,
+    UnsupportedFormulaError,
+)
 from repro.htl import ast
 from repro.htl.classify import (
     FormulaClass,
     is_non_temporal,
     skeleton_class,
 )
-from repro.htl.variables import is_closed
+from repro.htl.variables import free_attr_vars, free_object_vars, is_closed
 from repro.model.database import VideoDatabase
 from repro.model.hierarchy import Video, VideoNode
-from repro.pictures.retrieval import PictureRetrievalSystem
+
+# The engine mirrors the picture system's attribute-variable validation
+# when it substitutes a schema table for a skipped join operand, so a
+# malformed atom raises the same error whether or not it was skipped.
+from repro.pictures.retrieval import (
+    PictureRetrievalSystem,
+    _check_attr_var_usage,
+)
 from repro.pictures.scoring import exists_pool, max_similarity
 
 
@@ -51,6 +63,11 @@ class EngineConfig:
     ``naive_atoms`` forces the picture system's naive full-scan path for
     every atom table (the index-driven path is the default; the flag is
     the escape hatch and the oracle's configuration, see DESIGN.md §7).
+    ``plan`` enables the cost-based query planner (DESIGN.md §13):
+    statistics-driven join evaluation order with inner-join operand
+    short-circuits, per-atom indexed-vs-naive strategy choice, and plan
+    caching with adaptive re-planning.  Plans never change results —
+    ``plan=False`` restores the structural evaluation order exactly.
     """
 
     until_threshold: float = ops.DEFAULT_UNTIL_THRESHOLD
@@ -58,6 +75,7 @@ class EngineConfig:
     prune_atoms: bool = False
     allow_extensions: bool = False
     naive_atoms: bool = False
+    plan: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.until_threshold <= 1.0:
@@ -87,6 +105,9 @@ class _SequenceContext:
     universe: Tuple[str, ...] = ()
     owner: Optional[VideoNode] = None
     scope: Optional[Tuple[Any, ...]] = None
+    #: The compiled query plan steering this evaluation (None: structural
+    #: order).  Shared down level-operator descents.
+    plan: Optional[planning.QueryPlan] = None
 
     def ensure_pictures(self) -> PictureRetrievalSystem:
         if self.pictures is None:
@@ -113,9 +134,13 @@ class RetrievalEngine:
         self,
         config: Optional[EngineConfig] = None,
         cache: Optional[EvaluationCache] = None,
+        planner: Optional[planning.Planner] = None,
     ):
         self.config = config or EngineConfig()
         self.cache = cache
+        if planner is None and self.config.plan:
+            planner = planning.Planner()
+        self.planner = planner
 
     # ------------------------------------------------------------------
     # public API
@@ -208,10 +233,59 @@ class RetrievalEngine:
                 return hit
             trace.bump("cache-list-miss")
         context = self._context(formula, video, level, database, atomic_lists)
-        result = self._table(formula, context).closed_list()
+        context.plan = self._plan_for(formula, context, database)
+        if context.plan is None:
+            result = self._table(formula, context).closed_list()
+        else:
+            started = time.perf_counter()
+            result = self._table(formula, context).closed_list()
+            self.planner.observe(
+                context.plan, time.perf_counter() - started
+            )
         if use_cache and key is not None:
             cache.put_list(key, result)
         return result
+
+    def _plan_for(
+        self,
+        formula: ast.Formula,
+        context: _SequenceContext,
+        database: Optional[VideoDatabase],
+    ) -> Optional[planning.QueryPlan]:
+        """The query plan for this evaluation, or None for structural order.
+
+        Planning is skipped when disabled (``plan=False``), when the
+        naive-oracle configuration is forced (``naive_atoms``), and for
+        formulas with no picture atoms (pure registered-list queries have
+        no index statistics to plan from).  A failing plan build is a
+        perf event, never an error: the evaluation falls back to
+        structural order (budget exhaustion still propagates — planning
+        runs inside the query's deadline like everything else).
+        """
+        planner = self.planner
+        if (
+            planner is None
+            or not self.config.plan
+            or self.config.naive_atoms
+            or not planning.has_picture_atoms(formula)
+        ):
+            return None
+        try:
+            pictures = context.ensure_pictures()
+            return planner.plan_for(
+                formula,
+                pictures,
+                context.level,
+                self.config,
+                generation=(
+                    database.generation if database is not None else None
+                ),
+            )
+        except BudgetExceededError:
+            raise
+        except Exception:
+            trace.bump(planning.PLAN_FAILED)
+            return None
 
     def evaluate_at_root(
         self,
@@ -364,8 +438,7 @@ class RetrievalEngine:
         if is_non_temporal(formula):
             return self._atom_table(formula, context)
         if isinstance(formula, ast.And):
-            left = self._table(formula.left, context)
-            right = self._table(formula.right, context)
+            left, right = self._join_operands(formula, context)
             with trace.staged_span(
                 trace.LIST_ALGEBRA, trace.KIND_LIST_OP, "and-merge"
             ):
@@ -376,8 +449,7 @@ class RetrievalEngine:
                     universe=context.universe,
                 )
         if isinstance(formula, ast.Until):
-            left = self._table(formula.left, context)
-            right = self._table(formula.right, context)
+            left, right = self._join_operands(formula, context)
             threshold = self.config.until_threshold
 
             def until_op(
@@ -455,6 +527,144 @@ class RetrievalEngine:
             f"cannot evaluate {type(formula).__name__} here"
         )
 
+    # -- planned join evaluation ------------------------------------------
+    def _join_operands(
+        self,
+        formula: Union[ast.And, ast.Until],
+        context: _SequenceContext,
+    ) -> Tuple[SimilarityTable, SimilarityTable]:
+        """Both operand tables of an ∧ / until node, in (left, right) order.
+
+        With a plan active the *evaluation* order follows the plan's
+        per-node decision (cheapest-and-most-selective-first), and under
+        the paper's inner join a row-free first operand short-circuits
+        the second: a zero-row table annihilates the inner join whatever
+        the partner holds, so the partner is replaced by an equivalent
+        zero-row schema table instead of being evaluated (DESIGN.md §13).
+        The formula tree itself is never reordered — conjunct grouping is
+        semantically significant under the inner join — so the returned
+        pair is always (left table, right table).
+        """
+        plan = context.plan
+        if plan is not None and plan.right_first(formula):
+            first = self._table(formula.right, context)
+            second = self._operand(formula.left, first, context)
+            return second, first
+        first = self._table(formula.left, context)
+        second = self._operand(formula.right, first, context)
+        return first, second
+
+    def _operand(
+        self,
+        formula: ast.Formula,
+        partner: SimilarityTable,
+        context: _SequenceContext,
+    ) -> SimilarityTable:
+        """One join operand; short-circuited when the partner decided it."""
+        if (
+            context.plan is not None
+            and self.config.join_mode == INNER
+            and not partner.rows
+        ):
+            schema = self._schema_table(formula, context)
+            if schema is not None:
+                if self.planner is not None:
+                    self.planner.record_skip()
+                else:  # plan supplied via context without a planner
+                    trace.bump(planning.PLAN_SKIPPED_SUBFORMULA)
+                return schema
+        return self._table(formula, context)
+
+    def _schema_table(
+        self, formula: ast.Formula, context: _SequenceContext
+    ) -> Optional[SimilarityTable]:
+        """A zero-row table with exactly the columns and maximum that real
+        evaluation of ``formula`` would produce — or None when that cannot
+        be derived without evaluating.
+
+        Substituting it for a skipped inner-join operand is exact:
+        ``combine`` computes output columns and maximum from both
+        operands' columns and maxima alone, and with zero rows on the
+        partner side the row loop emits nothing either way.  Malformed
+        atoms still raise — attribute-variable misuse is validated here
+        exactly as the picture system would — and anything this method
+        cannot certify (unregistered refs, freeze joins, level descents)
+        returns None, routing the operand to real evaluation.
+        """
+        if isinstance(formula, ast.AtomicRef):
+            resolved = context.atomics(formula.name, context.level)
+            if resolved is None:
+                return None
+            return SimilarityTable((), (), [], resolved.maximum)
+        if is_non_temporal(formula):
+            if any(
+                isinstance(node, ast.AtomicRef) for node in formula.walk()
+            ):
+                if isinstance(formula, ast.And):
+                    return self._schema_join(formula, ops.and_lists, context)
+                return None
+            _check_attr_var_usage(formula)
+            try:
+                maximum = max_similarity(formula)
+            except Exception:
+                return None
+            return SimilarityTable(
+                sorted(free_object_vars(formula)),
+                sorted(free_attr_vars(formula)),
+                [],
+                maximum,
+            )
+        if isinstance(formula, ast.And):
+            return self._schema_join(formula, ops.and_lists, context)
+        if isinstance(formula, ast.Until):
+            threshold = self.config.until_threshold
+            return self._schema_join(
+                formula,
+                lambda left, right: ops.until_lists(left, right, threshold),
+                context,
+            )
+        if isinstance(formula, ast.Or):
+            left = self._schema_table(formula.left, context)
+            right = self._schema_table(formula.right, context)
+            if left is None or right is None:
+                return None
+            return left.combine(
+                right, extensions.or_lists, mode=OUTER, universe=context.universe
+            )
+        if isinstance(formula, ast.Next):
+            sub = self._schema_table(formula.sub, context)
+            return None if sub is None else sub.map_lists(ops.next_list)
+        if isinstance(formula, ast.Eventually):
+            sub = self._schema_table(formula.sub, context)
+            return None if sub is None else sub.map_lists(ops.eventually_list)
+        if isinstance(formula, ast.Always):
+            sub = self._schema_table(formula.sub, context)
+            if sub is None:
+                return None
+            axis_end = len(context.nodes)
+            return sub.map_lists(lambda sim: ops.always_list(sim, axis_end))
+        if isinstance(formula, ast.Exists):
+            sub = self._schema_table(formula.sub, context)
+            if sub is None:
+                return None
+            bound = [name for name in formula.vars if name in sub.object_vars]
+            return sub.project_exists(bound)
+        return None
+
+    def _schema_join(
+        self,
+        formula: Union[ast.And, ast.Until],
+        op: Callable[[SimilarityList, SimilarityList], SimilarityList],
+        context: _SequenceContext,
+    ) -> Optional[SimilarityTable]:
+        left = self._schema_table(formula.left, context)
+        right = self._schema_table(formula.right, context)
+        if left is None or right is None:
+            return None
+        return left.combine(
+            right, op, mode=self.config.join_mode, universe=context.universe
+        )
+
     # -- atoms ------------------------------------------------------------
     def _atomic_table(
         self, formula: ast.AtomicRef, context: _SequenceContext
@@ -476,8 +686,7 @@ class RetrievalEngine:
         )
         if has_refs:
             if isinstance(formula, ast.And):
-                left = self._table(formula.left, context)
-                right = self._table(formula.right, context)
+                left, right = self._join_operands(formula, context)
                 return left.combine(
                     right,
                     ops.and_lists,
@@ -490,11 +699,19 @@ class RetrievalEngine:
                 f"{type(formula).__name__}"
             )
         pictures = context.ensure_pictures()
+        # Per-atom strategy: the plan's cost-based indexed-vs-naive choice
+        # overrides the blanket config switch (both paths are proven to
+        # build identical tables, so this is perf-only).
+        use_index = not self.config.naive_atoms
+        if context.plan is not None:
+            choice = context.plan.atom_use_index(ast.structural_key(formula))
+            if choice is not None:
+                use_index = choice
         return pictures.similarity_table(
                 formula,
                 universe=context.universe or None,
                 prune=self.config.prune_atoms,
-                use_index=not self.config.naive_atoms,
+                use_index=use_index,
             )
 
     # -- level modal operators ------------------------------------------------
@@ -539,6 +756,7 @@ class RetrievalEngine:
                     if context.scope is not None
                     else None
                 ),
+                plan=context.plan,
             )
             child_table = self._table(formula.sub, child_context)
             maximum = child_table.maximum

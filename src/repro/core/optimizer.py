@@ -16,9 +16,17 @@ engine-vs-oracle equivalence suite:
   that boolean simplifications are generally unsound under graded
   semantics.
 * adjacent ``∃`` prefixes merge: ``∃x.∃y.f → ∃x,y.f``.
-* conjunction reassociation orders atomic subformulas by an estimated
-  evaluation cost (number of free variables, then size), so joins start
-  from the most selective tables — the classic join-ordering heuristic.
+* conjunction reassociation orders conjuncts by the structural cost
+  heuristic (number of free object variables, then temporal-operator
+  count, then size), so joins start from the most selective tables — the
+  classic join-ordering heuristic.
+
+These are *static* rewrites: no video in sight, so only the formula's
+structure can inform the ordering.  The statistics-driven ordering lives
+in :mod:`repro.core.planner` (DESIGN.md §13), which the engine applies
+per evaluation; this module's ordering is that planner's statistics-free
+fallback (:func:`repro.core.planner.structural_cost` — the heuristic
+moved there and is re-exported here for compatibility).
 
 Use :func:`optimize` before :meth:`RetrievalEngine.evaluate_video` when
 queries are machine-generated or deeply nested; hand-written queries are
@@ -27,11 +35,11 @@ usually already in good shape.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import List, Tuple
 
+from repro.core.planner import order_conjuncts, structural_cost
 from repro.htl import ast
 from repro.htl.classify import is_non_temporal
-from repro.htl.variables import free_object_vars
 
 
 def optimize(formula: ast.Formula) -> ast.Formula:
@@ -134,32 +142,29 @@ def _conjunction_chain(formula: ast.Formula) -> List[ast.Formula]:
 
 
 def estimated_cost(conjunct: ast.Formula) -> Tuple[int, int, int]:
-    """Heuristic evaluation cost used for join ordering.
+    """Deprecated alias of :func:`repro.core.planner.structural_cost`.
 
-    Lower sorts first: fewer free object variables (smaller tables to
-    join), fewer temporal operators (cheaper lists), smaller overall size.
+    The heuristic moved into the planner module, where it serves as the
+    statistics-free fallback ranking; this name is kept so existing
+    callers (and tests) keep working.  New code should import
+    ``structural_cost`` from :mod:`repro.core.planner`.
     """
-    n_vars = len(free_object_vars(conjunct))
-    n_temporal = sum(
-        1 for node in conjunct.walk() if isinstance(node, ast.TEMPORAL_OPERATORS)
-    )
-    size = sum(1 for __ in conjunct.walk())
-    return (n_vars, n_temporal, size)
+    return structural_cost(conjunct)
 
 
 def _reorder_conjunction(formula: ast.And):
     """Rebuild an ∧ chain cheapest-first (stable; None when unchanged).
 
     Conjunction of similarity values is commutative and associative
-    (sums), so any ordering is sound.
+    (sums), so any ordering is sound.  The ranking is the planner's
+    structural (statistics-free) cost — at rewrite time there is no
+    index to consult; the engine's runtime plan refines the evaluation
+    order further with real posting-list statistics.
     """
     conjuncts = _conjunction_chain(formula)
     if len(conjuncts) < 3:
         return None
-    ordered = sorted(
-        enumerate(conjuncts), key=lambda pair: (estimated_cost(pair[1]), pair[0])
-    )
-    new_order = [conjunct for __, conjunct in ordered]
+    new_order = order_conjuncts(conjuncts)
     if new_order == conjuncts:
         return None
     rebuilt = new_order[0]

@@ -1,0 +1,892 @@
+"""Cost-based query planning over metadata-index statistics.
+
+The engine's structural recursion evaluates conjunctions and joins in the
+order the query was written, and picks the indexed vs. naive atom path by
+a blanket config switch.  Both choices leave cheap wins on the table once
+the :class:`~repro.pictures.index.MetadataIndex` exists: posting-list
+lengths, content-profile dedup ratios and ∃-pool sizes predict which
+subformula is cheap and which is selective *before* anything is scored —
+the paper's own §4 direction (its SQL baseline gets a real optimizer) and
+the algorithmic program of Sistla's follow-up on sequence databases.
+
+The planner compiles an (engine-)formula into a :class:`QueryPlan`:
+
+* **join order** — for every ∧ / until node the plan records which side to
+  evaluate first, minimising ``cost(first) + sel(first) × cost(second)``.
+  Under the paper's inner join a row-free operand annihilates the join, so
+  the engine can skip the second operand outright (substituting a zero-row
+  *schema table* with the same columns and maximum — provably the same
+  output, see DESIGN.md §13); evaluating the most selective side first
+  maximises how often that happens.  The plan never rewrites the formula:
+  conjunct *grouping* is semantically significant under the inner join, so
+  ordering decisions are per-node evaluation orders, not tree rebuilds.
+* **per-atom strategy** — indexed vs. naive scan, chosen by comparing the
+  estimated cost of the support-analysis + candidate sweep against the
+  full ``bindings × segments`` scan, instead of the blanket
+  ``EngineConfig(naive_atoms=...)`` switch.
+* **plan caching** — plans are cached in a
+  :class:`~repro.core.cache.PlanCache` keyed by the formula's structural
+  key, the level, the engine config and the index's *statistics
+  signature*.  Two videos (or shards) whose indices summarise identically
+  share one plan, so multi-video top-k plans once per distinct index
+  shape; the database generation counter invalidates on mutation, exactly
+  like :class:`~repro.core.cache.EvaluationCache`.
+* **adaptive feedback** — every planned evaluation reports its wall-clock
+  back via :meth:`Planner.observe`.  When the observed time diverges from
+  the estimate by more than ``replan_ratio`` for ``min_observations``
+  consecutive runs, the cached plan is dropped (``plan-replan``), the
+  model's ``unit_seconds`` is recalibrated from the observations — and,
+  when stage metrics are enabled, the score/merge cost ratio is refit
+  from the :class:`~repro.core.trace.MetricsRegistry` stage totals — so
+  the rebuilt plan's estimates track the machine it is running on.
+
+The module is engine-agnostic: it imports the picture layer and the cache
+but never :mod:`repro.core.engine` (the engine imports *it*), and
+:mod:`repro.core.optimizer` reuses :func:`structural_cost` /
+:func:`order_conjuncts` as its statistics-free fallback ordering.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core import instrument, trace
+from repro.core.cache import PlanCache
+from repro.core.simlist import SIM_EPS
+from repro.core.tables import INNER
+from repro.htl import ast
+from repro.htl.classify import is_non_temporal
+from repro.htl.variables import free_attr_vars, free_object_vars
+from repro.model.metadata import SegmentMetadata
+from repro.pictures.scoring import (
+    FRESH_OBJECT_ID,
+    exists_pool,
+    max_similarity,
+    score,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pictures.retrieval import PictureRetrievalSystem
+
+#: Always-on counter names (flow into the observability payload via
+#: ``instrument.counters()`` like every other ``trace.bump`` counter).
+PLAN_BUILT = "plan-built"
+PLAN_CACHE_HIT = "plan-cache-hit"
+PLAN_CACHE_MISS = "plan-cache-miss"
+PLAN_REPLAN = "plan-replan"
+PLAN_FAILED = "plan-failed"
+PLAN_SKIPPED_SUBFORMULA = "plan-subformula-skipped"
+
+#: Per-atom strategies.
+STRATEGY_INDEXED = "indexed"
+STRATEGY_NAIVE = "naive"
+
+#: The representative empty segment baselines are probed on.
+_EMPTY_SEGMENT = SegmentMetadata()
+
+
+# ---------------------------------------------------------------------------
+# statistics-free fallback (the old optimizer heuristic)
+# ---------------------------------------------------------------------------
+def structural_cost(conjunct: ast.Formula) -> Tuple[int, int, int]:
+    """Purely structural evaluation-cost heuristic for join ordering.
+
+    Lower sorts first: fewer free object variables (smaller tables to
+    join), fewer temporal operators (cheaper lists), smaller overall
+    size.  This is the planner's fallback when no index statistics exist
+    — e.g. :func:`repro.core.optimizer.optimize` rewriting a formula with
+    no video in sight.
+    """
+    n_vars = len(free_object_vars(conjunct))
+    n_temporal = sum(
+        1
+        for node in conjunct.walk()
+        if isinstance(node, ast.TEMPORAL_OPERATORS)
+    )
+    size = sum(1 for __ in conjunct.walk())
+    return (n_vars, n_temporal, size)
+
+
+def order_conjuncts(
+    conjuncts: Sequence[ast.Formula],
+    key: Optional[Any] = None,
+) -> List[ast.Formula]:
+    """Stable cheapest-first ordering of a conjunct list.
+
+    ``key`` maps a conjunct to a sortable rank (default
+    :func:`structural_cost`); original position breaks ties, so the sort
+    is stable and deterministic.
+    """
+    ranker = structural_cost if key is None else key
+    ordered = sorted(
+        enumerate(conjuncts),
+        key=lambda pair: (ranker(pair[1]), pair[0]),
+    )
+    return [conjunct for __, conjunct in ordered]
+
+
+def has_picture_atoms(formula: ast.Formula) -> bool:
+    """Does evaluating the formula build any picture-system atom table?
+
+    Pure :class:`~repro.htl.ast.AtomicRef` formulas (registered similarity
+    lists) have nothing for the planner to estimate or reorder by
+    statistics — building an index signature for them would be pure
+    overhead — so the engine skips planning entirely for those.
+    """
+    if isinstance(formula, ast.AtomicRef):
+        return False
+    if is_non_temporal(formula):
+        if not any(
+            isinstance(node, ast.AtomicRef) for node in formula.walk()
+        ):
+            return True
+        if isinstance(formula, ast.And):
+            return has_picture_atoms(formula.left) or has_picture_atoms(
+                formula.right
+            )
+        return False
+    return any(has_picture_atoms(child) for child in formula.children())
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Statistics:
+    """The index numbers one plan is built from, with a hashable signature.
+
+    The signature summarises the index *shape* (segment/profile counts,
+    pool size, per-family posting-list length distribution), not its
+    contents: two videos that summarise identically share plan-cache
+    entries.  A collision costs nothing but estimate accuracy — plans
+    never change results.
+    """
+
+    n_segments: int
+    n_profiles: int
+    pool_size: int
+    signature: Tuple[Any, ...]
+
+    @classmethod
+    def from_pictures(cls, pictures: "PictureRetrievalSystem") -> "Statistics":
+        raw = pictures.index.stats()
+        families = tuple(
+            (
+                name,
+                entry["keys"],
+                entry["entries"],
+                entry["lengths"]["p50"],
+                entry["lengths"]["max"],
+            )
+            for name, entry in sorted(raw["postings"].items())
+        )
+        pools = raw["pools"]
+        signature = (
+            "stats",
+            raw["n_segments"],
+            raw["n_profiles"],
+            pools["universe"],
+            pools["any_object_segments"],
+            families,
+        )
+        return cls(
+            n_segments=raw["n_segments"],
+            n_profiles=raw["n_profiles"],
+            pool_size=pools["universe"],
+            signature=signature,
+        )
+
+    @property
+    def dedup_factor(self) -> float:
+        """Fraction of distinct content profiles (scoring work per sweep)."""
+        if not self.n_segments:
+            return 1.0
+        return self.n_profiles / self.n_segments
+
+
+# ---------------------------------------------------------------------------
+# cost model
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CostModel:
+    """Relative per-operation costs, in abstract units.
+
+    ``unit_seconds`` converts units to wall-clock for the adaptive loop;
+    it starts at a rough laptop-scale default and is recalibrated from
+    observed evaluations.  ``score_cost`` is the unit (one recursive
+    ``score()`` of a stored segment); the others are relative to it.
+    """
+
+    score_cost: float = 1.0
+    #: One support analysis per (atom, binding).
+    analysis_cost: float = 0.5
+    #: One baseline score on the empty representative segment.
+    baseline_cost: float = 1.0
+    #: Per segment, per list/table merge step.
+    merge_cost: float = 0.05
+    #: Resolving one registered atomic list.
+    ref_cost: float = 1.0
+    #: Estimated elementary ranges per free attribute variable.
+    attr_boxes: int = 4
+    #: Seconds per cost unit (recalibrated by observation).
+    unit_seconds: float = 2e-6
+    #: Re-plan when observed/estimated seconds diverge beyond this factor.
+    replan_ratio: float = 4.0
+    #: ... for at least this many consecutive observations.
+    min_observations: int = 2
+
+    def seconds(self, cost: float) -> float:
+        return cost * self.unit_seconds
+
+    def recalibrated(self, observed_seconds: float, cost: float) -> "CostModel":
+        """A model whose unit matches one observed (seconds, cost) pair.
+
+        When stage metrics are enabled, the score/merge ratio is also
+        refit from the measured per-call stage costs — observed atom
+        scoring vs. list algebra seconds-per-call — closing the loop from
+        the :class:`~repro.core.trace.MetricsRegistry` histograms back
+        into the estimates.
+        """
+        changes: Dict[str, Any] = {}
+        if cost > 0 and observed_seconds > 0:
+            changes["unit_seconds"] = observed_seconds / cost
+        if instrument.is_enabled():
+            totals = instrument.totals()
+            scoring = totals.get(instrument.ATOM_SCORING)
+            algebra = totals.get(instrument.LIST_ALGEBRA)
+            if (
+                scoring is not None
+                and algebra is not None
+                and scoring.calls
+                and algebra.calls
+                and scoring.seconds > 0
+            ):
+                per_score = scoring.seconds / scoring.calls
+                per_merge = algebra.seconds / algebra.calls
+                changes["merge_cost"] = max(
+                    1e-4, self.score_cost * per_merge / per_score
+                )
+        if not changes:
+            return self
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# plan
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeEstimate:
+    """Estimated evaluation cost (units) and row selectivity of a node.
+
+    ``selectivity`` estimates the probability the node's table has any
+    row at all — the quantity inner-join short-circuits care about — so
+    unary temporal operators preserve it and ∧ multiplies it.
+    """
+
+    cost: float
+    selectivity: float
+
+
+@dataclass(frozen=True)
+class AtomChoice:
+    """The strategy decision for one picture atom."""
+
+    description: str
+    strategy: str
+    bindings: int
+    candidates: Optional[int]
+    indexed_cost: float
+    naive_cost: float
+    selectivity: float
+
+
+class QueryPlan:
+    """A compiled evaluation plan for one (formula, index-shape, config).
+
+    Immutable decisions (``strategies``, ``swapped``, ``nodes``) plus the
+    mutable observation state the adaptive loop updates under the
+    planner's lock.
+    """
+
+    __slots__ = (
+        "key",
+        "formula",
+        "signature",
+        "level",
+        "strategies",
+        "swapped",
+        "nodes",
+        "atoms",
+        "estimated_cost",
+        "estimated_seconds",
+        "observations",
+        "observed_seconds",
+        "divergent_streak",
+        "retired",
+    )
+
+    def __init__(
+        self,
+        key: Hashable,
+        formula: ast.Formula,
+        signature: Tuple[Any, ...],
+        level: int,
+        strategies: Mapping[str, str],
+        swapped: FrozenSet[str],
+        nodes: Mapping[str, NodeEstimate],
+        atoms: Mapping[str, AtomChoice],
+        estimated_cost: float,
+        estimated_seconds: float,
+    ):
+        self.key = key
+        self.formula = formula
+        self.signature = signature
+        self.level = level
+        self.strategies = dict(strategies)
+        self.swapped = swapped
+        self.nodes = dict(nodes)
+        self.atoms = dict(atoms)
+        self.estimated_cost = estimated_cost
+        self.estimated_seconds = estimated_seconds
+        self.observations = 0
+        self.observed_seconds = 0.0
+        self.divergent_streak = 0
+        self.retired = False
+
+    # -- engine hooks ---------------------------------------------------
+    def atom_use_index(self, key: str) -> Optional[bool]:
+        """Indexed-path choice for an atom key (None: no decision)."""
+        strategy = self.strategies.get(key)
+        if strategy is None:
+            return None
+        return strategy == STRATEGY_INDEXED
+
+    def right_first(self, formula: ast.Formula) -> bool:
+        """Should the engine evaluate this join's right operand first?"""
+        return ast.structural_key(formula) in self.swapped
+
+    # -- rendering ------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable plan: tree with order/strategy/cost annotations."""
+        lines: List[str] = []
+        self._describe(self.formula, 0, lines)
+        lines.append(
+            f"estimated cost: {self.estimated_cost:.1f} units "
+            f"(~{self.estimated_seconds * 1000:.3f} ms)"
+        )
+        if self.observations:
+            lines.append(
+                f"observed: {self.observed_seconds * 1000:.3f} ms "
+                f"(ewma over {self.observations} run(s))"
+            )
+        return "\n".join(lines)
+
+    def _describe(
+        self, formula: ast.Formula, depth: int, lines: List[str]
+    ) -> None:
+        from repro.core.explain import describe_node
+
+        key = ast.structural_key(formula)
+        notes: List[str] = []
+        estimate = self.nodes.get(key)
+        if estimate is not None:
+            notes.append(
+                f"cost {estimate.cost:.1f}, sel {estimate.selectivity:.2f}"
+            )
+        choice = self.atoms.get(key)
+        if choice is not None:
+            candidates = (
+                "all" if choice.candidates is None else str(choice.candidates)
+            )
+            notes.append(
+                f"strategy={choice.strategy}, bindings {choice.bindings}, "
+                f"candidates {candidates}/segment sweep "
+                f"(indexed {choice.indexed_cost:.1f} vs "
+                f"naive {choice.naive_cost:.1f})"
+            )
+        if isinstance(formula, (ast.And, ast.Until)):
+            notes.append(
+                "evaluate right first"
+                if key in self.swapped
+                else "evaluate left first"
+            )
+        suffix = f"  [{'; '.join(notes)}]" if notes else ""
+        lines.append("  " * depth + describe_node(formula) + suffix)
+        if choice is None:
+            for child in formula.children():
+                self._describe(child, depth + 1, lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-safe document of the plan (the CLI's ``--json`` form)."""
+        return {
+            "estimated_cost": self.estimated_cost,
+            "estimated_seconds": self.estimated_seconds,
+            "observations": self.observations,
+            "observed_seconds": self.observed_seconds,
+            "level": self.level,
+            "signature": repr(self.signature),
+            "tree": self._node_doc(self.formula),
+        }
+
+    def _node_doc(self, formula: ast.Formula) -> Dict[str, Any]:
+        from repro.core.explain import describe_node
+
+        key = ast.structural_key(formula)
+        doc: Dict[str, Any] = {"node": describe_node(formula)}
+        estimate = self.nodes.get(key)
+        if estimate is not None:
+            doc["cost"] = estimate.cost
+            doc["selectivity"] = estimate.selectivity
+        choice = self.atoms.get(key)
+        if choice is not None:
+            doc["strategy"] = choice.strategy
+            doc["bindings"] = choice.bindings
+            doc["candidates"] = choice.candidates
+            doc["indexed_cost"] = choice.indexed_cost
+            doc["naive_cost"] = choice.naive_cost
+        if isinstance(formula, (ast.And, ast.Until)):
+            doc["order"] = (
+                "right-first" if key in self.swapped else "left-first"
+            )
+        if choice is None:
+            children = [self._node_doc(child) for child in formula.children()]
+            if children:
+                doc["children"] = children
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# planner
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlannerStats:
+    """A snapshot of the planner's work counters."""
+
+    plans_built: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    replans: int = 0
+    support_probes: int = 0
+    skipped_subformulas: int = 0
+
+
+class Planner:
+    """Builds, caches and adaptively revises query plans.
+
+    Thread-safe: one planner is shared across ``top_k_across_videos``
+    worker threads exactly like the evaluation cache.
+    """
+
+    def __init__(
+        self,
+        model: Optional[CostModel] = None,
+        cache: Optional[PlanCache] = None,
+    ):
+        self.model = model or CostModel()
+        self.cache = cache if cache is not None else PlanCache()
+        self._lock = threading.Lock()
+        self._plans_built = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._replans = 0
+        self._support_probes = 0
+        self._skipped = 0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def stats(self) -> PlannerStats:
+        with self._lock:
+            return PlannerStats(
+                plans_built=self._plans_built,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                replans=self._replans,
+                support_probes=self._support_probes,
+                skipped_subformulas=self._skipped,
+            )
+
+    def record_skip(self) -> None:
+        """The engine short-circuited one join operand under this planner."""
+        with self._lock:
+            self._skipped += 1
+        trace.bump(PLAN_SKIPPED_SUBFORMULA)
+
+    # -- planning -------------------------------------------------------
+    def plan_for(
+        self,
+        formula: ast.Formula,
+        pictures: "PictureRetrievalSystem",
+        level: int,
+        config: Hashable,
+        generation: Optional[int] = None,
+    ) -> QueryPlan:
+        """The cached plan for one (formula, index, level, config).
+
+        ``generation`` is the owning database's mutation counter; passing
+        it keeps the plan cache coherent across index rebuilds exactly
+        like :meth:`EvaluationCache.sync`.
+        """
+        if generation is not None:
+            self.cache.sync(generation)
+        stats = Statistics.from_pictures(pictures)
+        key = ("plan", ast.structural_key(formula), level, config, stats.signature)
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._lock:
+                self._cache_hits += 1
+            trace.bump(PLAN_CACHE_HIT)
+            return cached
+        with self._lock:
+            self._cache_misses += 1
+        trace.bump(PLAN_CACHE_MISS)
+        plan = self._build(formula, pictures, stats, level, config, key)
+        self.cache.put(key, plan)
+        return plan
+
+    def _build(
+        self,
+        formula: ast.Formula,
+        pictures: "PictureRetrievalSystem",
+        stats: Statistics,
+        level: int,
+        config: Hashable,
+        key: Hashable,
+    ) -> QueryPlan:
+        builder = _PlanBuilder(self.model, pictures, stats, config)
+        total = builder.estimate(formula)
+        with self._lock:
+            self._plans_built += 1
+            self._support_probes += builder.probes
+        trace.bump(PLAN_BUILT)
+        return QueryPlan(
+            key=key,
+            formula=formula,
+            signature=stats.signature,
+            level=level,
+            strategies=builder.strategies,
+            swapped=frozenset(builder.swapped),
+            nodes=builder.nodes,
+            atoms=builder.atoms,
+            estimated_cost=total.cost,
+            estimated_seconds=self.model.seconds(total.cost),
+        )
+
+    # -- adaptive feedback ----------------------------------------------
+    def observe(self, plan: QueryPlan, seconds: float) -> None:
+        """Report one planned evaluation's wall-clock back to the model.
+
+        Tracks an exponentially-weighted observed time per plan; when it
+        stays outside ``replan_ratio`` of the estimate for
+        ``min_observations`` consecutive runs, the plan is retired from
+        the cache, the model recalibrated, and the next evaluation
+        re-plans with estimates fitted to the observations.
+        """
+        model = self.model
+        with self._lock:
+            plan.observations += 1
+            if plan.observations == 1:
+                plan.observed_seconds = seconds
+            else:
+                plan.observed_seconds = (
+                    0.5 * plan.observed_seconds + 0.5 * seconds
+                )
+            estimate = max(plan.estimated_seconds, 1e-9)
+            ratio = plan.observed_seconds / estimate
+            divergent = (
+                ratio > model.replan_ratio or ratio < 1.0 / model.replan_ratio
+            )
+            if not divergent:
+                plan.divergent_streak = 0
+                return
+            plan.divergent_streak += 1
+            if plan.divergent_streak < model.min_observations or plan.retired:
+                return
+            plan.retired = True
+            plan.divergent_streak = 0
+            self._replans += 1
+            self.model = model.recalibrated(
+                plan.observed_seconds, plan.estimated_cost
+            )
+        self.cache.invalidate(plan.key)
+        trace.bump(PLAN_REPLAN)
+
+
+# ---------------------------------------------------------------------------
+# plan construction
+# ---------------------------------------------------------------------------
+class _PlanBuilder:
+    """One plan construction: walks the formula mirroring engine dispatch."""
+
+    def __init__(
+        self,
+        model: CostModel,
+        pictures: "PictureRetrievalSystem",
+        stats: Statistics,
+        config: Any,
+    ):
+        self.model = model
+        self.pictures = pictures
+        self.stats = stats
+        self.config = config
+        self.pool: List[str] = exists_pool(pictures.universe)
+        self.strategies: Dict[str, str] = {}
+        self.swapped: Set[str] = set()
+        self.nodes: Dict[str, NodeEstimate] = {}
+        self.atoms: Dict[str, AtomChoice] = {}
+        self.probes = 0
+        self._inner = getattr(config, "join_mode", INNER) == INNER
+
+    def estimate(self, formula: ast.Formula) -> NodeEstimate:
+        key = ast.structural_key(formula)
+        cached = self.nodes.get(key)
+        if cached is not None:
+            return cached
+        result = self._estimate(formula)
+        self.nodes[key] = result
+        return result
+
+    def _estimate(self, formula: ast.Formula) -> NodeEstimate:
+        model = self.model
+        n = self.stats.n_segments
+        if isinstance(formula, ast.AtomicRef):
+            # Registered list lookup; row-free only when unregistered
+            # (which raises anyway), so selectivity 1.
+            return NodeEstimate(model.ref_cost, 1.0)
+        if is_non_temporal(formula):
+            if any(
+                isinstance(node, ast.AtomicRef) for node in formula.walk()
+            ):
+                if isinstance(formula, ast.And):
+                    return self._join(formula)
+                # The engine rejects refs under anything but ∧; cost moot.
+                return NodeEstimate(model.ref_cost, 1.0)
+            return self._atom(formula)
+        if isinstance(formula, (ast.And, ast.Until)):
+            return self._join(formula)
+        if isinstance(formula, ast.Or):
+            left = self.estimate(formula.left)
+            right = self.estimate(formula.right)
+            sel = min(
+                1.0,
+                left.selectivity
+                + right.selectivity
+                - left.selectivity * right.selectivity,
+            )
+            cost = left.cost + right.cost + model.merge_cost * max(1, n)
+            return NodeEstimate(cost, sel)
+        if isinstance(
+            formula,
+            (ast.Next, ast.Eventually, ast.Always, ast.Exists, ast.Freeze),
+        ):
+            # Unary operators transform rows in place: a row-free input
+            # stays row-free and vice versa, so selectivity is preserved.
+            sub = self.estimate(formula.sub)
+            return NodeEstimate(
+                sub.cost + model.merge_cost * max(1, n), sub.selectivity
+            )
+        if isinstance(formula, ast.LEVEL_OPERATORS):
+            # One descent per outer node; statistics describe the outer
+            # level, so this is a deliberately crude upper-ish bound.
+            sub = self.estimate(formula.sub)
+            return NodeEstimate(
+                sub.cost * max(1, n), sub.selectivity
+            )
+        return NodeEstimate(model.merge_cost * max(1, n), 1.0)
+
+    def _join(self, formula: ast.Formula) -> NodeEstimate:
+        left = self.estimate(formula.left)
+        right = self.estimate(formula.right)
+        model = self.model
+        join_cost = model.merge_cost * max(1, self.stats.n_segments)
+        if self._inner:
+            # Expected cost of each evaluation order: the second operand
+            # runs only when the first produced rows (otherwise the
+            # inner join is decided and the engine skips it).
+            left_first = left.cost + left.selectivity * right.cost
+            right_first = right.cost + right.selectivity * left.cost
+            if right_first < left_first:
+                self.swapped.add(ast.structural_key(formula))
+            cost = min(left_first, right_first) + join_cost
+        else:
+            # Outer joins always evaluate both sides; order is moot.
+            cost = left.cost + right.cost + join_cost
+        return NodeEstimate(cost, left.selectivity * right.selectivity)
+
+    # -- atoms ----------------------------------------------------------
+    def _atom(self, atom: ast.Formula) -> NodeEstimate:
+        key = ast.structural_key(atom)
+        model = self.model
+        n = self.stats.n_segments
+        object_vars = sorted(free_object_vars(atom))
+        attr_vars = sorted(free_attr_vars(atom))
+        typed_pool = self._typed_candidates(atom, object_vars)
+        bindings = 1
+        for name in object_vars:
+            bindings *= len(typed_pool[name])
+        if attr_vars:
+            bindings *= model.attr_boxes ** len(attr_vars)
+        representative = self._representative_binding(object_vars, typed_pool)
+        candidates = self._probe_candidates(atom, representative)
+        dedup = self.stats.dedup_factor
+        if candidates is None:
+            indexed = bindings * (
+                model.analysis_cost + n * model.score_cost * dedup
+            )
+        else:
+            indexed = bindings * (
+                model.analysis_cost
+                + model.baseline_cost
+                + candidates * model.score_cost * dedup
+            )
+        naive = bindings * max(1, n) * model.score_cost
+        strategy = STRATEGY_INDEXED if indexed <= naive else STRATEGY_NAIVE
+        selectivity = self._atom_selectivity(
+            atom, representative, object_vars, candidates
+        )
+        self.strategies[key] = strategy
+        self.atoms[key] = AtomChoice(
+            description=_clip(atom),
+            strategy=strategy,
+            bindings=bindings,
+            candidates=candidates,
+            indexed_cost=indexed,
+            naive_cost=naive,
+            selectivity=selectivity,
+        )
+        cost = indexed if strategy == STRATEGY_INDEXED else naive
+        return NodeEstimate(cost, selectivity)
+
+    def _typed_candidates(
+        self, atom: ast.Formula, object_vars: Sequence[str]
+    ) -> Dict[str, List[str]]:
+        """Per-variable pool narrowing from *required* type constraints.
+
+        The conjunctive skeleton of the atom is walked (∧ / weight /
+        freeze only — a ``type(x) = 'T'`` under ¬ or ∨ does not bound
+        ``x``) and each equality against a type constant intersects that
+        variable's pool with :meth:`MetadataIndex.object_ids_of_type`.
+        This is an *estimate* input only: the runtime pool is never
+        narrowed here, so an over-eager cut can at worst misorder a
+        join, never change a result.
+        """
+        candidates = {name: list(self.pool) for name in object_vars}
+        if not object_vars:
+            return candidates
+        index = self.pictures.index
+        stack = [atom]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.And):
+                stack.append(node.left)
+                stack.append(node.right)
+            elif isinstance(node, (ast.Weighted, ast.Freeze)):
+                stack.append(node.sub)
+            elif (
+                isinstance(node, ast.Compare)
+                and node.op == "="
+                and isinstance(node.left, ast.AttrFunc)
+                and node.left.name == "type"
+                and len(node.left.args) == 1
+                and isinstance(node.left.args[0], ast.ObjectVar)
+                and isinstance(node.right, ast.Const)
+                and isinstance(node.right.value, str)
+            ):
+                name = node.left.args[0].name
+                if name in candidates:
+                    typed = set(index.object_ids_of_type(node.right.value))
+                    candidates[name] = [
+                        object_id
+                        for object_id in candidates[name]
+                        if object_id in typed
+                    ]
+        return candidates
+
+    def _representative_binding(
+        self,
+        object_vars: Sequence[str],
+        typed_pool: Dict[str, List[str]],
+    ) -> Dict[str, Any]:
+        """Bind every free variable to its most widely-present pool id.
+
+        The widest presence posting over-covers most other assignments,
+        making the probed candidate count a representative (slightly
+        pessimistic) per-binding estimate.  Variables are drawn from
+        their type-narrowed pools so a rare-typed variable probes a
+        rare object, not the corpus-wide most common one.
+        """
+        if not object_vars:
+            return {}
+        index = self.pictures.index
+        binding: Dict[str, Any] = {}
+        for name in object_vars:
+            best: Optional[Tuple[str, int]] = None
+            for object_id in typed_pool.get(name, self.pool):
+                if object_id == FRESH_OBJECT_ID:
+                    continue
+                length = len(index.segments_with_object(object_id))
+                if best is None or length > best[1]:
+                    best = (object_id, length)
+            binding[name] = best[0] if best is not None else FRESH_OBJECT_ID
+        return binding
+
+    def _probe_candidates(
+        self, atom: ast.Formula, binding: Dict[str, Any]
+    ) -> Optional[int]:
+        """Candidate-set size under the representative binding (None: all)."""
+        self.probes += 1
+        try:
+            support = self.pictures.atom_support(
+                atom, binding, self.pool, charge=False
+            )
+        except Exception:
+            return None
+        if support.candidates is None:
+            return None
+        return len(support.candidates)
+
+    def _atom_selectivity(
+        self,
+        atom: ast.Formula,
+        binding: Dict[str, Any],
+        object_vars: Sequence[str],
+        candidates: Optional[int],
+    ) -> float:
+        if not object_vars:
+            # Closed atoms keep their single row even at similarity zero.
+            return 1.0
+        if candidates is None:
+            return 1.0
+        try:
+            baseline = score(
+                atom, _EMPTY_SEGMENT, binding, self.pool, narrow=True
+            )
+        except Exception:
+            return 1.0
+        if baseline > SIM_EPS:
+            # A nonzero baseline (¬ / ∨ atoms) makes every binding's list
+            # nonempty: the table always has rows.
+            return 1.0
+        if not self.stats.n_segments:
+            return 0.0
+        return min(1.0, candidates / self.stats.n_segments)
+
+
+def _clip(atom: ast.Formula, limit: int = 60) -> str:
+    from repro.htl.pretty import pretty
+
+    text = pretty(atom)
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -444,6 +444,13 @@ def top_k_across_videos(
     call's local heap.  Evaluated lists are published back into the
     exchange.  The ranking this call returns is still its own corpus's
     top-k; :meth:`TopKResult.merge` assembles the global answer.
+
+    Planning (DESIGN.md §13): when the engine carries a planner, each
+    video's evaluation runs under a compiled query plan.  Plans are keyed
+    by the index's *statistics signature*, so videos — and shards — whose
+    indices summarise identically reuse one plan across the whole
+    fan-out; traced queries annotate the per-query ``plans-built`` /
+    ``plan-reuses`` / ``plan-skips`` deltas on the query span.
     """
     if k <= 0:
         return TopKResult([])
@@ -526,6 +533,13 @@ def _traced_top_k(
     recorder, engine, formula, database, k, level, parallelism, prune,
     budget, policy, lenient, exchange,
 ) -> TopKResult:
+    # Videos (and shards) with identical index shapes share one compiled
+    # plan — the planner's cache key is the statistics signature, not the
+    # video name — so a fan-out typically builds a handful of plans and
+    # reuses them everywhere.  The deltas annotated below make that reuse
+    # visible per query.
+    planner = getattr(engine, "planner", None)
+    plans_before = planner.stats if planner is not None else None
     with recorder.span(
         trace.KIND_QUERY,
         f"top-{k}: {_clip_query(formula)}",
@@ -537,6 +551,18 @@ def _traced_top_k(
             engine, formula, database, k, level, parallelism, prune,
             budget, policy, lenient, exchange,
         )
+        if planner is not None:
+            plans_after = planner.stats
+            query_span.attrs["plans-built"] = (
+                plans_after.plans_built - plans_before.plans_built
+            )
+            query_span.attrs["plan-reuses"] = (
+                plans_after.cache_hits - plans_before.cache_hits
+            )
+            query_span.attrs["plan-skips"] = (
+                plans_after.skipped_subformulas
+                - plans_before.skipped_subformulas
+            )
         result.profile = query_span
         return result
 

@@ -19,6 +19,7 @@ reuse a score across same-profile segments without re-probing anything.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ModelError
@@ -30,6 +31,30 @@ _EMPTY: Tuple[int, ...] = ()
 
 def _frozen(postings: Dict[str, List[int]]) -> "Dict[str, Tuple[int, ...]]":
     return {key: tuple(values) for key, values in postings.items()}
+
+
+def _length_summary(lengths: List[int]) -> Dict[str, float]:
+    """Mean / p50 / p90 / max of one family's posting-list lengths.
+
+    Percentiles use the nearest-rank method over the sorted lengths, so
+    the summary is exact and stable for the handful-of-keys families
+    typical here; everything is 0 for an empty family.
+    """
+    if not lengths:
+        return {"mean": 0.0, "p50": 0, "p90": 0, "max": 0}
+    ordered = sorted(lengths)
+    count = len(ordered)
+
+    def rank(fraction: float) -> int:
+        position = max(1, math.ceil(fraction * count))
+        return ordered[min(count, position) - 1]
+
+    return {
+        "mean": sum(ordered) / count,
+        "p50": rank(0.50),
+        "p90": rank(0.90),
+        "max": ordered[-1],
+    }
 
 
 def _content_key(segment: SegmentMetadata) -> tuple:
@@ -178,10 +203,16 @@ class MetadataIndex:
 
     # -- introspection --------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        """Size summary of the index, for ``shard info`` and diagnostics.
+        """Size summary of the index, for ``shard info``, the planner and
+        diagnostics.
 
-        ``postings`` maps each postings family to its key count and the
-        total number of posted segment ids; ``profile_dedup`` is the
+        ``postings`` maps each postings family to its key count, the total
+        number of posted segment ids, and a ``lengths`` summary of the
+        posting-list length distribution (mean / p50 / p90 / max, all 0 for
+        an empty family) — the selectivity raw material of
+        :mod:`repro.core.planner`.  ``pools`` summarises the quantities an
+        ``∃`` iterates over: the object universe size and the
+        any-object-present segment count.  ``profile_dedup`` is the
         fraction of segments collapsed away by content-profile sharing
         (0.0 when every segment is unique).
         """
@@ -196,6 +227,9 @@ class MetadataIndex:
             name: {
                 "keys": len(table),
                 "entries": sum(len(ids) for ids in table.values()),
+                "lengths": _length_summary(
+                    [len(ids) for ids in table.values()]
+                ),
             }
             for name, table in families.items()
         }
@@ -209,6 +243,11 @@ class MetadataIndex:
             "n_profiles": self.n_profiles,
             "profile_dedup": dedup,
             "postings": postings,
+            "pools": {
+                "universe": len(self._by_object),
+                "types": len(self._objects_of_type),
+                "any_object_segments": len(self._with_any_object),
+            },
         }
 
     # -- persistence ----------------------------------------------------------

@@ -152,15 +152,20 @@ class PictureRetrievalSystem:
         atom: ast.Formula,
         binding: Dict[str, Union[str, int, float]],
         universe: Optional[Sequence[str]] = None,
+        charge: bool = True,
     ) -> AtomSupport:
         """The support analysis of one (atom, binding) pair.
 
         ``universe`` is the ∃-pool the analysis expands quantified
         probes over; it must match the pool the table was (or will be)
         built with, and defaults to the sequence's objects.
+
+        ``charge=False`` exempts the call from budget step accounting —
+        the planner's cost probes use it so planning a query never
+        changes how many steps evaluating it is charged.
         """
         pool = list(universe) if universe is not None else self._universe
-        return self._analyzer.atom_support(atom, binding, pool)
+        return self._analyzer.atom_support(atom, binding, pool, charge=charge)
 
     # ------------------------------------------------------------------
     def similarity_table(
@@ -517,11 +522,26 @@ class PictureRetrievalSystem:
         pool: Sequence[str],
         maximum: float,
     ) -> SimilarityList:
+        # Budget accounting mirrors the indexed path — one step per
+        # binding (the analysis-shaped cost) plus block charges per 256
+        # segments — so a step budget sees comparable consumption
+        # whichever strategy the planner (or config) picked.
+        budget = resilience.current_budget()
+        if budget is not None:
+            budget.charge(1, site="atom-scoring")
+        pending = 0
         values: Dict[int, float] = {}
         for segment_id, segment in enumerate(self.segments, start=1):
+            if budget is not None:
+                pending += 1
+                if pending >= 256:
+                    budget.charge(pending, site="atom-scoring")
+                    pending = 0
             actual = score(atom, segment, binding, pool)
             if actual > SIM_EPS:
                 values[segment_id] = actual
+        if budget is not None and pending:
+            budget.charge(pending, site="atom-scoring")
         return SimilarityList.from_segment_values(values, maximum)
 
     def _attr_var_rows(

@@ -243,15 +243,20 @@ class SupportAnalyzer:
         atom: ast.Formula,
         binding: Binding,
         pool: Sequence[str] = (),
+        charge: bool = True,
     ) -> AtomSupport:
         """Candidate set and fingerprint plan for one (atom, binding).
 
         ``pool`` is the object universe quantified (``∃``) variables
         range over; their probes are expanded over it.  The fresh-object
         sentinel carries no meta-data and is dropped.
+
+        ``charge=False`` skips the budget step charge: planner probes
+        estimate evaluation cost without performing evaluation work, so
+        they must not perturb a query's step accounting.
         """
         budget = resilience.current_budget()
-        if budget is not None:
+        if charge and budget is not None:
             budget.charge(1, site="atom-scoring")
         pool_ids = tuple(
             object_id

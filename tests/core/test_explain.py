@@ -83,6 +83,12 @@ class TestExplain:
         assert indent(eventually_line) < indent(next_line) < indent(atom_line)
 
 
+def _walk_plan_tree(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk_plan_tree(child)
+
+
 class TestCLIExplain:
     def test_cli_explain(self, capsys):
         from repro.cli import main
@@ -99,3 +105,43 @@ class TestCLIExplain:
         ) == 0
         out = capsys.readouterr().out
         assert "rewritten:" in out
+
+    def test_cli_explain_plan(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "explain",
+                "--plan",
+                "exists x . (present(x) and (eventually type(x) = 'person'))",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan for" in out
+        assert "strategy=" in out
+        assert "planner:" in out
+
+    def test_cli_explain_plan_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(
+            [
+                "explain",
+                "--plan",
+                "--json",
+                "--dataset",
+                "casablanca",
+                "exists x . (present(x) and (eventually type(x) = 'person'))",
+            ]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "tree" in doc
+        assert doc["estimated_cost"] > 0
+        strategies = [
+            node.get("strategy")
+            for node in _walk_plan_tree(doc["tree"])
+            if "strategy" in node
+        ]
+        assert strategies and set(strategies) <= {"indexed", "naive"}

@@ -12,8 +12,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import EngineConfig, RetrievalEngine
+from repro.errors import HTLTypeError
 from repro.htl import ast
 from repro.htl.parser import parse
+from repro.htl.variables import free_object_vars
 from repro.model.metadata import (
     Relationship,
     SegmentMetadata,
@@ -28,6 +30,7 @@ from tests.integration.strategies import (
     flat_videos,
     segment_metadata,
     type1_formulas,
+    type2_formulas,
 )
 
 VAR_SETS = [(), ("x",), ("x", "y")]
@@ -198,6 +201,61 @@ class TestIndexedEqualsNaive:
         assert system.similarity_list(atom, use_index=True) == (
             system.similarity_list(atom, use_index=False)
         )
+
+
+# ---------------------------------------------------------------------------
+# the planner property: planning never changes results
+# ---------------------------------------------------------------------------
+class TestPlannedEqualsStructural:
+    """The cost-based plan (DESIGN.md §13) changes only the evaluation
+    order and the per-atom index strategy — never the ranking.  Three-way
+    check: planned engine vs. structural-order engine vs. naive oracle.
+    """
+
+    def _rankings(self, formula, video):
+        def outcome(config):
+            # Ill-typed formulas (e.g. a free attribute variable under a
+            # temporal operator) must fail identically in every mode.
+            try:
+                return RetrievalEngine(config).evaluate_video(formula, video)
+            except HTLTypeError as error:
+                return ("raised", type(error).__name__)
+
+        planned = outcome(EngineConfig())
+        structural = outcome(EngineConfig(plan=False))
+        naive = outcome(EngineConfig(naive_atoms=True))
+        return planned, structural, naive
+
+    @settings(max_examples=60, deadline=None)
+    @given(video=flat_videos(), formula=type1_formulas())
+    def test_closed_temporal_formulas(self, video, formula):
+        planned, structural, naive = self._rankings(formula, video)
+        assert planned == structural
+        assert planned == naive
+
+    @settings(max_examples=60, deadline=None)
+    @given(video=flat_videos(), formula=type2_formulas())
+    def test_quantified_temporal_formulas(self, video, formula):
+        planned, structural, naive = self._rankings(formula, video)
+        assert planned == structural
+        assert planned == naive
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        video=flat_videos(),
+        left=nontemporal_atoms(),
+        right=nontemporal_atoms(),
+    )
+    def test_temporal_conjunctions_of_atoms(self, video, left, right):
+        # ∧ of an atom with a temporal wrapper is exactly the shape the
+        # planner may reorder (And is a join, the sides stay atoms).
+        formula = ast.And(left, ast.Eventually(right))
+        names = sorted(free_object_vars(formula))
+        if names:
+            formula = ast.Exists(tuple(names), formula)
+        planned, structural, naive = self._rankings(formula, video)
+        assert planned == structural
+        assert planned == naive
 
 
 # ---------------------------------------------------------------------------
