@@ -34,6 +34,8 @@ from repro.errors import (
     ModelError,
     ReproError,
     ResilienceError,
+    ServeError,
+    ServeRejected,
     ShardError,
     SimilarityListInvariantError,
     SQLCatalogError,
@@ -92,7 +94,13 @@ EXIT_CODES = {
     StoreCorruptionError: 25,
     StoreVersionError: 26,
     ShardError: 27,
+    ServeError: 28,
+    ServeRejected: 29,
 }
+
+#: The conventional 128+SIGINT code: an interrupted run that drained
+#: gracefully still reports "killed by Ctrl-C" to the calling shell.
+EXIT_SIGINT = 130
 
 
 def exit_code_for(error: ReproError) -> int:
@@ -432,6 +440,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="load every shard and print per-video metadata-index stats",
+    )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="run queries through the concurrent retrieval service "
+        "(admission control, SLA budgets, graceful drain)",
+    )
+    serve_cmd.add_argument(
+        "queries",
+        nargs="*",
+        help="query text, optionally prefixed 'interactive:' / "
+        "'standard:' / 'batch:'; reads one query per stdin line "
+        "when omitted",
+    )
+    serve_cmd.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default="casablanca",
+        help="built-in dataset to serve (default: casablanca)",
+    )
+    serve_cmd.add_argument(
+        "--shard-dir",
+        default=None,
+        help="serve a sharded store layout instead of a built-in dataset",
+    )
+    serve_cmd.add_argument(
+        "--store",
+        dest="store_dir",
+        default=None,
+        help="serve the newest snapshot of a store directory",
+    )
+    serve_cmd.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=2,
+        help="warm pooled workers (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        help="segments per ranking (default: 5)",
+    )
+    serve_cmd.add_argument(
+        "--level",
+        type=_positive_int,
+        default=2,
+        help="hierarchy level to rank at (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--sla",
+        choices=("interactive", "standard", "batch"),
+        default="standard",
+        help="latency class for unprefixed queries (default: standard)",
+    )
+    serve_cmd.add_argument(
+        "--sla-scale",
+        type=_positive_float,
+        default=1.0,
+        help="scale every class deadline by this factor (default: 1.0)",
+    )
+    serve_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="strict per-request semantics (no partial rankings)",
+    )
+    serve_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON payload per result plus a stats payload",
     )
     return parser
 
@@ -799,6 +877,147 @@ def cmd_shard(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_pool(arguments: argparse.Namespace):
+    from repro.serve import EnginePool
+
+    if arguments.shard_dir is not None and arguments.store_dir is not None:
+        raise ServeError("--shard-dir and --store are mutually exclusive")
+    if arguments.shard_dir is not None:
+        return EnginePool.from_shard_layout(
+            arguments.shard_dir, arguments.workers
+        )
+    if arguments.store_dir is not None:
+        return EnginePool.from_store(arguments.store_dir, arguments.workers)
+    __, loader = _DATASETS[arguments.dataset]
+    return EnginePool.from_database(loader(), arguments.workers)
+
+
+def _serve_lines(arguments: argparse.Namespace):
+    """Queries from the command line, or one per stdin line."""
+    if arguments.queries:
+        yield from arguments.queries
+        return
+    for line in sys.stdin:
+        line = line.strip()
+        if line and not line.startswith("#"):
+            yield line
+
+
+def _split_sla(line: str, default: str, classes) -> tuple:
+    """Peel an optional 'class:' prefix off a query line."""
+    head, sep, rest = line.partition(":")
+    if sep and head.strip() in classes:
+        return head.strip(), rest.strip()
+    return default, line
+
+
+def _print_serve_result(text: str, result, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps({"query": text, **result.to_payload()}))
+        return
+    tag = f"#{result.request_id} [{result.sla}]"
+    timing = (
+        f"{result.total_ms:.0f}ms "
+        f"(queue {result.queue_ms:.0f}ms + service {result.service_ms:.0f}ms)"
+    )
+    if result.status == "completed":
+        ranking = result.topk
+        note = " (degraded)" if result.degraded else ""
+        print(
+            f"{tag} completed{note} in {timing} on {result.worker}: "
+            f"{len(ranking)} segment(s)"
+        )
+        for rank, segment in enumerate(ranking, start=1):
+            print(
+                f"    {rank}. {segment.video} segment {segment.segment_id}  "
+                f"{segment.actual:.3f}/{segment.maximum:g}"
+            )
+    elif result.status == "shed":
+        print(
+            f"{tag} shed under load after {result.queue_ms:.0f}ms queued; "
+            f"retry after {result.retry_after_ms:.0f}ms"
+        )
+    else:
+        print(f"{tag} timed out after {timing}")
+
+
+def cmd_serve(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import (
+        QueryRequest,
+        RetrievalServer,
+        default_classes,
+    )
+
+    classes = default_classes(scale=arguments.sla_scale)
+    server = RetrievalServer(_serve_pool(arguments), classes=classes)
+    server.start(level=arguments.level)
+    print(
+        f"serving with {server.pool.n_workers} warm worker(s) over "
+        f"{len(server.pool.video_names())} video(s); "
+        f"SLA deadlines "
+        + ", ".join(
+            f"{sla.name}={sla.deadline_ms:g}ms"
+            for sla in sorted(classes.values(), key=lambda c: -c.priority)
+        ),
+        file=sys.stderr,
+    )
+    tickets = []
+    printed = 0
+    interrupted = False
+    try:
+        for line in _serve_lines(arguments):
+            sla, text = _split_sla(line, arguments.sla, classes)
+            try:
+                ticket = server.submit(
+                    QueryRequest(
+                        parse(text),
+                        arguments.top,
+                        level=arguments.level,
+                        sla=sla,
+                        lenient=not arguments.strict,
+                    )
+                )
+            except ServeRejected as rejection:
+                print(
+                    f"rejected [{sla}] {text!r}: {rejection.reason}; "
+                    f"retry after {rejection.retry_after_ms:.0f}ms",
+                    file=sys.stderr,
+                )
+                continue
+            tickets.append((text, ticket))
+        for text, ticket in tickets:
+            _print_serve_result(text, ticket.result(None), arguments.json)
+            printed += 1
+    except KeyboardInterrupt:
+        interrupted = True
+        print("\ninterrupted: draining in-flight requests...", file=sys.stderr)
+    finally:
+        stats = server.close()
+    # After close() every admitted ticket is terminal (the conservation
+    # law), so an interrupted run still reports every outcome.
+    for text, ticket in tickets[printed:]:
+        _print_serve_result(text, ticket.result(0.0), arguments.json)
+    if arguments.json:
+        print(json.dumps({"stats": stats.to_payload()}))
+    else:
+        rejected = stats.rejected_total
+        print(
+            f"served {stats.admitted} request(s): {stats.completed} "
+            f"completed ({stats.degraded} degraded), {stats.timed_out} "
+            f"timed out, {stats.shed} shed; {rejected} rejected at "
+            f"admission",
+            file=sys.stderr,
+        )
+    if not stats.conserved:  # pragma: no cover - would be a server bug
+        print("error: request ledger does not balance", file=sys.stderr)
+        return EXIT_CODES[ServeError]
+    return EXIT_SIGINT if interrupted else 0
+
+
 def cmd_datasets(arguments: argparse.Namespace) -> int:
     for key in sorted(_DATASETS):
         video_name, loader = _DATASETS[key]
@@ -846,9 +1065,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": cmd_datasets,
         "store": cmd_store,
         "shard": cmd_shard,
+        "serve": cmd_serve,
     }
     try:
         return handlers[arguments.command](arguments)
+    except KeyboardInterrupt:
+        # Commands that can drain do so and return EXIT_SIGINT
+        # themselves; this backstop keeps a Ctrl-C anywhere else from
+        # ending in a traceback.
+        print("interrupted", file=sys.stderr)
+        return EXIT_SIGINT
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return exit_code_for(error)

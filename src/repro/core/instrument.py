@@ -110,10 +110,28 @@ STORE_MANIFEST_RECOVERED = "store-manifest-recovered"
 #: Canonical event-counter names of the sharded corpus (DESIGN.md §12).
 SHARD_LOADED = "shard-loaded"
 SHARD_FAILED = "shard-failed"
+SHARD_LOAD_RETRIED = "shard-load-retried"
+
+#: Canonical event-counter names of the serving layer (DESIGN.md §14).
+#: The first six are the request ledger — every admitted request bumps
+#: exactly one of completed/timed-out/shed, which is the conservation
+#: law the chaos suite asserts.
+SERVE_ADMITTED = "serve-admitted"
+SERVE_REJECTED = "serve-rejected"
+SERVE_COMPLETED = "serve-completed"
+SERVE_TIMED_OUT = "serve-timed-out"
+SERVE_SHED = "serve-shed"
+SERVE_DEGRADED = "serve-degraded"
+SERVE_REQUEUED = "serve-requeued"
 
 #: Canonical latency-histogram names of the top-k layer (seconds).
 QUERY_LATENCY = "query-seconds"
 VIDEO_LATENCY = "video-seconds"
+
+#: Canonical latency-histogram names of the serving layer (seconds).
+SERVE_ADMISSION_LATENCY = "serve-admission-seconds"
+SERVE_QUEUE_WAIT = "serve-queue-wait-seconds"
+SERVE_REQUEST_LATENCY = "serve-request-seconds"
 
 
 def enable(reset: bool = True) -> None:

@@ -74,6 +74,16 @@ SITE_STORE_READ = "store-read"
 #: shard — lenient queries degrade to the surviving shards, strict
 #: queries abort with :class:`~repro.errors.ShardError`.
 SITE_SHARD_LOAD = "shard-load"
+#: Serving fault sites of :mod:`repro.serve` (DESIGN.md §14): admission
+#: control (a raise here refuses the request before it is admitted, so
+#: the conservation ledger never sees it), the worker's pre-execution
+#: hook (a raise models a wedged engine — the request retries on the
+#: pool and finally degrades to a partial result), and the drain loop
+#: (a raise mid-shutdown must not leave any admitted request
+#: unresolved).
+SITE_SERVE_ADMIT = "serve-admit"
+SITE_SERVE_WORKER = "serve-worker"
+SITE_SERVE_DRAIN = "serve-drain"
 
 FAULT_SITES = (
     SITE_INDEX_LOOKUP,
@@ -84,6 +94,9 @@ FAULT_SITES = (
     SITE_STORE_FSYNC,
     SITE_STORE_READ,
     SITE_SHARD_LOAD,
+    SITE_SERVE_ADMIT,
+    SITE_SERVE_WORKER,
+    SITE_SERVE_DRAIN,
 )
 
 #: The installed fault hook (``None`` in production).  A hook is an object

@@ -377,6 +377,32 @@ class TopKResult(Sequence):
             profile=profile,
         )
 
+    # -- export ----------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe summary of the ranking and its provenance.
+
+        The shape the serving layer returns to clients (DESIGN.md §14)
+        and the benchmarks embed in ``BENCH_*.json``: ranked segments,
+        the per-video outcome ledger, and the partial flag.  ``profile``
+        is *not* embedded — span trees export separately through
+        :func:`repro.bench.reporting.observability_payload`.
+        """
+        return {
+            "segments": [
+                {
+                    "video": segment.video,
+                    "segment_id": segment.segment_id,
+                    "actual": segment.actual,
+                    "maximum": segment.maximum,
+                }
+                for segment in self.segments
+            ],
+            "outcomes": {
+                outcome.video: outcome.status for outcome in self.outcomes
+            },
+            "partial": self.partial,
+        }
+
     # -- provenance helpers ---------------------------------------------
     def outcome_for(self, video: str) -> Optional[VideoOutcome]:
         """The recorded outcome of one video, by name."""

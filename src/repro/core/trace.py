@@ -97,6 +97,7 @@ TOP_K = "top-k"
 #: Span kinds.  A span's kind says which layer emitted it; the
 #: :data:`KIND_TO_STAGE` map says which legacy stage (if any) its
 #: duration is attributed to.
+KIND_SERVE = "serve"
 KIND_QUERY = "query"
 KIND_SHARD = "shard"
 KIND_VIDEO = "video"

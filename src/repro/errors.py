@@ -151,6 +151,38 @@ class InjectedFaultError(ResilienceError):
         super().__init__(message)
 
 
+class ServeError(ReproError):
+    """Base class for the concurrent retrieval service (:mod:`repro.serve`)."""
+
+
+class ServeRejected(ServeError):
+    """A request was refused admission, or shed after admission.
+
+    Raised by :meth:`repro.serve.RetrievalServer.submit` when admission
+    control refuses the request outright (queue full, estimated backlog
+    past the class deadline, server closing), and by
+    :meth:`repro.serve.ServeResult.raise_for_status` for a request that
+    was admitted and later shed under pressure.
+
+    ``retry_after_ms`` is the server's hint for when capacity is likely
+    to exist again — a well-behaved client backs off at least that long.
+    ``reason`` is a stable machine-readable tag (``queue-full``,
+    ``backlog``, ``shed``, ``closing``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_ms: float = 0.0,
+        reason: str = "",
+        sla: str = "",
+    ):
+        self.retry_after_ms = retry_after_ms
+        self.reason = reason
+        self.sla = sla
+        super().__init__(message)
+
+
 class StoreError(ReproError):
     """Base class for the crash-safe on-disk store (:mod:`repro.store`).
 

@@ -1,0 +1,75 @@
+"""Concurrent retrieval serving: admission control, load shedding, and
+SLA-derived budgets (DESIGN.md §14).
+
+The package turns the batch-oriented retrieval stack
+(:class:`~repro.core.engine.RetrievalEngine`,
+:func:`~repro.core.topk.top_k_across_videos`,
+:class:`~repro.shard.ShardedCorpus`) into a long-lived threaded query
+service::
+
+    from repro.serve import EnginePool, QueryRequest, RetrievalServer
+
+    pool = EnginePool.from_store("snapshots/", n_workers=4)
+    with RetrievalServer(pool) as server:
+        result = server.query("exists x . present(x)", k=5,
+                              sla="interactive")
+        ranking = result.raise_for_status()
+
+Layering: :mod:`~repro.serve.sla` (latency classes → budgets),
+:mod:`~repro.serve.request` (tickets and terminal results),
+:mod:`~repro.serve.queue` (bounded priority queue: admission +
+shedding), :mod:`~repro.serve.pool` (warm engines + breakers),
+:mod:`~repro.serve.server` (the threaded server and its ledger).
+"""
+
+from repro.errors import ServeError, ServeRejected
+from repro.serve.pool import EnginePool, PooledWorker, PROBE_QUERY
+from repro.serve.queue import RequestQueue
+from repro.serve.request import (
+    STATUS_COMPLETED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    STATUS_SHED,
+    STATUS_TIMED_OUT,
+    TERMINAL_STATUSES,
+    QueryRequest,
+    ServeResult,
+    Ticket,
+)
+from repro.serve.server import RetrievalServer, ServeStats
+from repro.serve.sla import (
+    BATCH,
+    INTERACTIVE,
+    STANDARD,
+    SLAClass,
+    default_classes,
+    scaled,
+    validate_classes,
+)
+
+__all__ = [
+    "BATCH",
+    "INTERACTIVE",
+    "PROBE_QUERY",
+    "STANDARD",
+    "STATUS_COMPLETED",
+    "STATUS_QUEUED",
+    "STATUS_RUNNING",
+    "STATUS_SHED",
+    "STATUS_TIMED_OUT",
+    "TERMINAL_STATUSES",
+    "EnginePool",
+    "PooledWorker",
+    "QueryRequest",
+    "RequestQueue",
+    "RetrievalServer",
+    "ServeError",
+    "ServeRejected",
+    "ServeResult",
+    "ServeStats",
+    "SLAClass",
+    "Ticket",
+    "default_classes",
+    "scaled",
+    "validate_classes",
+]

@@ -5,6 +5,8 @@ Public surface:
 * :class:`ShardedCorpus` — partitioned corpus front end; ``top_k`` runs
   the scatter-gather query (DESIGN.md §12).
 * :class:`Shard` — one shard: id, owned videos, lazy loader.
+* :class:`RetryPolicy` — jittered exponential backoff for transient
+  shard-load faults, behind a per-shard circuit breaker.
 * :func:`slice_budget` — split one query budget into per-shard slices.
 
 The on-disk layout lives in :mod:`repro.store.sharding`
@@ -14,6 +16,18 @@ The on-disk layout lives in :mod:`repro.store.sharding`
 :mod:`repro.core.topk`.
 """
 
-from repro.shard.corpus import Shard, ShardedCorpus, slice_budget
+from repro.shard.corpus import (
+    DEFAULT_RETRY,
+    RetryPolicy,
+    Shard,
+    ShardedCorpus,
+    slice_budget,
+)
 
-__all__ = ["Shard", "ShardedCorpus", "slice_budget"]
+__all__ = [
+    "DEFAULT_RETRY",
+    "RetryPolicy",
+    "Shard",
+    "ShardedCorpus",
+    "slice_budget",
+]

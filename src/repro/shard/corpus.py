@@ -36,9 +36,12 @@ the same ones ``top_k_across_videos`` already fans out.  Multi-process
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core import instrument, resilience, trace
@@ -95,6 +98,50 @@ def slice_budget(
     return slices
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for transient shard-load faults.
+
+    ``attempts`` bounds total tries (1 = the old no-retry behaviour).
+    The nth retry sleeps ``base_delay_ms × multiplier^(n-1)`` capped at
+    ``max_delay_ms``, then scaled into ``[1-jitter, 1)`` of itself so a
+    scatter's workers do not hammer a recovering disk in lockstep.
+    Defaults are sized for in-process stores: three tries inside ~50ms.
+    """
+
+    attempts: int = 3
+    base_delay_ms: float = 5.0
+    max_delay_ms: float = 80.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_ms <= 0 or self.max_delay_ms <= 0:
+            raise ValueError("retry delays must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(
+        self, attempt: int, rng: Callable[[], float] = random.random
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based), in seconds."""
+        raw = min(
+            self.max_delay_ms,
+            self.base_delay_ms * self.multiplier ** (attempt - 1),
+        )
+        return raw * (1.0 - self.jitter + self.jitter * rng()) / 1000.0
+
+
+#: The serving default: bounded, fast, and jittered.
+DEFAULT_RETRY = RetryPolicy()
+
+
 class Shard:
     """One shard: an id, the videos it owns, and a lazy database loader.
 
@@ -103,31 +150,85 @@ class Shard:
     so the chaos suite can kill a shard deterministically.  Load
     failures are not cached — a shard that recovers on disk recovers on
     the next query.
+
+    Transient faults retry under the shard's :class:`RetryPolicy`
+    behind a per-shard circuit breaker: a shard that keeps failing
+    opens its breaker and subsequent queries fail fast (no retry storm
+    against a dead disk) until the cooldown probe readmits one trial.
+    ``rng`` and ``sleep`` are injectable so chaos tests replay the
+    backoff schedule deterministically without wall-clock waits.
     """
 
-    __slots__ = ("shard_id", "videos", "_loader", "_database", "_lock")
+    __slots__ = (
+        "shard_id",
+        "videos",
+        "retry",
+        "breaker",
+        "_loader",
+        "_database",
+        "_lock",
+        "_rng",
+        "_sleep",
+    )
 
     def __init__(
         self,
         shard_id: str,
         videos: Sequence[str],
         loader: Callable[[], VideoDatabase],
+        *,
+        retry: Optional[RetryPolicy] = None,
+        rng: Callable[[], float] = random.random,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.shard_id = shard_id
         self.videos: Tuple[str, ...] = tuple(videos)
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.breaker = resilience.CircuitBreaker(f"shard-{shard_id}-load")
         self._loader = loader
         self._database: Optional[VideoDatabase] = None
         self._lock = threading.Lock()
+        self._rng = rng
+        self._sleep = sleep
 
     def database(self) -> VideoDatabase:
         """The shard's database, loading (and memoizing) on first use."""
-        resilience.fault(resilience.SITE_SHARD_LOAD)
-        with self._lock:
-            if self._database is None:
-                self._database = self._loader()
-                instrument.count(instrument.SHARD_LOADED)
-                trace.event(instrument.SHARD_LOADED, self.shard_id)
-            return self._database
+        if not self.breaker.allow():
+            raise ShardError(
+                f"shard {self.shard_id} load breaker is open; failing fast",
+                shard=self.shard_id,
+            )
+        attempt = 0
+        while True:
+            try:
+                resilience.fault(resilience.SITE_SHARD_LOAD)
+                with self._lock:
+                    if self._database is None:
+                        self._database = self._loader()
+                        instrument.count(instrument.SHARD_LOADED)
+                        trace.event(instrument.SHARD_LOADED, self.shard_id)
+                    database = self._database
+            except Exception:
+                self.breaker.record_failure()
+                attempt += 1
+                # Stop early (raising the genuine failure, not a
+                # breaker message) once the breaker opens mid-retry.
+                if (
+                    attempt >= self.retry.attempts
+                    or self.breaker.state == resilience.OPEN
+                ):
+                    raise
+                delay = self.retry.backoff_s(attempt, self._rng)
+                instrument.count(instrument.SHARD_LOAD_RETRIED)
+                trace.event(
+                    instrument.SHARD_LOAD_RETRIED,
+                    f"{self.shard_id}: attempt {attempt + 1}/"
+                    f"{self.retry.attempts} after {delay * 1000.0:.1f}ms",
+                )
+                self._sleep(delay)
+                continue
+            self.breaker.record_success()
+            return database
 
     def __repr__(self) -> str:
         return f"Shard({self.shard_id!r}, {len(self.videos)} videos)"
@@ -181,7 +282,11 @@ class ShardedCorpus:
     # -- constructors ----------------------------------------------------
     @classmethod
     def from_database(
-        cls, database: VideoDatabase, n_shards: int
+        cls,
+        database: VideoDatabase,
+        n_shards: int,
+        *,
+        retry: Optional[RetryPolicy] = None,
     ) -> "ShardedCorpus":
         """Partition an in-memory database (round-robin, no disk)."""
         parts = split_database(database, n_shards)
@@ -191,6 +296,7 @@ class ShardedCorpus:
                     shard_id(position),
                     part.names(),
                     lambda part=part: part,
+                    retry=retry,
                 )
                 for position, part in enumerate(parts)
             ]
@@ -198,7 +304,12 @@ class ShardedCorpus:
 
     @classmethod
     def from_directory(
-        cls, root, *, verify: bool = True, keep: int = 2
+        cls,
+        root,
+        *,
+        verify: bool = True,
+        keep: int = 2,
+        retry: Optional[RetryPolicy] = None,
     ) -> "ShardedCorpus":
         """Open a sharded store layout written by
         :func:`repro.store.sharding.save_sharded`.
@@ -214,6 +325,7 @@ class ShardedCorpus:
                     spec.shard_id,
                     spec.videos,
                     _store_loader(layout, spec, verify, keep),
+                    retry=retry,
                 )
                 for spec in layout.shards
             ]

@@ -1,0 +1,181 @@
+"""The bounded priority queue: admission, shedding, dispatch order."""
+
+import pytest
+
+from repro.errors import ServeRejected
+from repro.serve import RequestQueue, Ticket
+from repro.serve.request import STATUS_SHED
+
+from tests.serve.conftest import request_for, serve_classes
+
+
+def make_queue(capacity=100, estimator=lambda ahead: 0.0, shed=None):
+    classes = serve_classes()
+    return (
+        RequestQueue(
+            classes,
+            capacity,
+            estimator=estimator,
+            on_shed=(
+                shed
+                if shed is not None
+                else lambda ticket, hint: None
+            ),
+        ),
+        classes,
+    )
+
+
+_NEXT_ID = iter(range(1, 10_000))
+
+
+def ticket(sla, submitted_at=0.0):
+    return Ticket(request_for(sla=sla), next(_NEXT_ID), submitted_at)
+
+
+class TestDispatchOrder:
+    def test_strict_priority_interactive_first(self):
+        queue, __ = make_queue()
+        batch = ticket("batch")
+        standard = ticket("standard")
+        interactive = ticket("interactive")
+        for t in (batch, standard, interactive):
+            queue.offer(t, running=0)
+        assert queue.take(0.1) is interactive
+        assert queue.take(0.1) is standard
+        assert queue.take(0.1) is batch
+
+    def test_fifo_within_a_class(self):
+        queue, __ = make_queue()
+        first, second = ticket("standard"), ticket("standard")
+        queue.offer(first, running=0)
+        queue.offer(second, running=0)
+        assert queue.take(0.1) is first
+        assert queue.take(0.1) is second
+
+    def test_take_times_out_empty(self):
+        queue, __ = make_queue()
+        assert queue.take(0.01) is None
+
+    def test_requeue_goes_to_the_front(self):
+        queue, __ = make_queue()
+        first, second = ticket("standard"), ticket("standard")
+        queue.offer(first, running=0)
+        queue.offer(second, running=0)
+        taken = queue.take(0.1)
+        queue.requeue(taken)
+        assert queue.take(0.1) is first
+
+
+class TestAdmission:
+    def test_class_queue_limit_rejects_with_hint(self):
+        queue, classes = make_queue(estimator=lambda ahead: 7.0 * ahead)
+        limit = classes["interactive"].queue_limit
+        for __ in range(limit):
+            queue.offer(ticket("interactive"), running=0)
+        with pytest.raises(ServeRejected) as caught:
+            queue.offer(ticket("interactive"), running=0)
+        assert caught.value.reason == "queue-full"
+        assert caught.value.retry_after_ms == 7.0 * limit
+        assert caught.value.sla == "interactive"
+
+    def test_backlog_estimate_rejects_doomed_requests(self):
+        # Estimator says every request ahead costs 6s; the interactive
+        # deadline is 10s, so two ahead (12s) is already hopeless.
+        queue, __ = make_queue(estimator=lambda ahead: 6_000.0 * ahead)
+        queue.offer(ticket("interactive"), running=0)
+        with pytest.raises(ServeRejected) as caught:
+            queue.offer(ticket("interactive"), running=1)
+        assert caught.value.reason == "backlog"
+        assert caught.value.retry_after_ms > 0
+
+    def test_backlog_counts_only_equal_or_higher_priority(self):
+        # A wall of queued batch work must not starve interactive
+        # admission: batch is *behind* interactive in dispatch order.
+        queue, __ = make_queue(estimator=lambda ahead: 6_000.0 * ahead)
+        for __ in range(5):
+            queue.offer(ticket("batch"), running=0)
+        queue.offer(ticket("interactive"), running=0)  # must admit
+
+    def test_closed_queue_rejects_closing(self):
+        queue, __ = make_queue()
+        queue.close()
+        with pytest.raises(ServeRejected) as caught:
+            queue.offer(ticket("standard"), running=0)
+        assert caught.value.reason == "closing"
+
+
+class TestShedding:
+    def test_capacity_evicts_oldest_lowest_priority(self):
+        shed = []
+        queue, __ = make_queue(
+            capacity=3, shed=lambda t, hint: shed.append(t)
+        )
+        old_batch = ticket("batch")
+        queue.offer(old_batch, running=0)
+        queue.offer(ticket("batch"), running=0)
+        queue.offer(ticket("standard"), running=0)
+        # At capacity: an interactive arrival sheds the oldest batch.
+        queue.offer(ticket("interactive"), running=0)
+        assert shed == [old_batch]
+        assert queue.depth("batch") == 1
+
+    def test_batch_shed_before_standard(self):
+        shed = []
+        queue, __ = make_queue(
+            capacity=2, shed=lambda t, hint: shed.append(t)
+        )
+        standard = ticket("standard")
+        batch = ticket("batch")
+        queue.offer(standard, running=0)
+        queue.offer(batch, running=0)
+        queue.offer(ticket("interactive"), running=0)
+        assert shed == [batch]
+        assert queue.depth("standard") == 1
+
+    def test_never_sheds_to_make_room_for_equal_priority(self):
+        shed = []
+        queue, __ = make_queue(
+            capacity=2, shed=lambda t, hint: shed.append(t)
+        )
+        queue.offer(ticket("batch"), running=0)
+        queue.offer(ticket("batch"), running=0)
+        with pytest.raises(ServeRejected) as caught:
+            queue.offer(ticket("batch"), running=0)
+        assert caught.value.reason == "queue-full"
+        assert shed == []
+
+    def test_interactive_never_shed(self):
+        shed = []
+        queue, __ = make_queue(
+            capacity=2, shed=lambda t, hint: shed.append(t)
+        )
+        queue.offer(ticket("interactive"), running=0)
+        queue.offer(ticket("interactive"), running=0)
+        with pytest.raises(ServeRejected):
+            queue.offer(ticket("interactive"), running=0)
+        assert shed == []
+
+
+class TestDrain:
+    def test_drain_remaining_empties_every_class(self):
+        queue, __ = make_queue()
+        tickets = [ticket("batch"), ticket("standard"), ticket("interactive")]
+        for t in tickets:
+            queue.offer(t, running=0)
+        leftovers = queue.drain_remaining()
+        assert sorted(t.request_id for t in leftovers) == sorted(
+            t.request_id for t in tickets
+        )
+        assert queue.depth() == 0
+
+    def test_depths_gauge(self):
+        queue, __ = make_queue()
+        queue.offer(ticket("batch"), running=0)
+        queue.offer(ticket("batch"), running=0)
+        queue.offer(ticket("interactive"), running=0)
+        assert queue.depths() == {
+            "interactive": 1,
+            "standard": 0,
+            "batch": 2,
+        }

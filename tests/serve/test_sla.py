@@ -1,0 +1,106 @@
+"""SLA classes and the deadline-minus-queue-wait budget derivation."""
+
+import pytest
+
+from repro.core.resilience import QueryBudget
+from repro.errors import BudgetExceededError, ServeError
+from repro.serve import SLAClass, default_classes, scaled, validate_classes
+
+
+class TestSLAClass:
+    def test_budget_is_deadline_minus_queue_wait(self):
+        sla = SLAClass("interactive", deadline_ms=500.0)
+        budget = sla.budget(queued_ms=200.0)
+        assert isinstance(budget, QueryBudget)
+        remaining = budget.remaining_ms()
+        assert 0.0 < remaining <= 300.0
+
+    def test_budget_carries_the_step_ceiling(self):
+        sla = SLAClass("batch", deadline_ms=10_000.0, max_steps=1234)
+        assert sla.budget(queued_ms=0.0).max_steps == 1234
+
+    def test_exhausted_deadline_raises_at_admission(self):
+        sla = SLAClass("interactive", deadline_ms=500.0)
+        with pytest.raises(BudgetExceededError) as caught:
+            sla.budget(queued_ms=500.0)
+        assert caught.value.site == "serve-admit"
+
+    def test_negative_remaining_raises_at_admission(self):
+        sla = SLAClass("interactive", deadline_ms=500.0)
+        with pytest.raises(BudgetExceededError):
+            sla.budget(queued_ms=750.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -10.0},
+            {"deadline_ms": 100.0, "max_steps": 0},
+            {"deadline_ms": 100.0, "queue_limit": 0},
+        ],
+    )
+    def test_rejects_nonsense_knobs(self, kwargs):
+        with pytest.raises(ServeError):
+            SLAClass("bad", **kwargs)
+
+
+class TestDefaultClasses:
+    def test_ladder_shape(self):
+        classes = default_classes()
+        assert set(classes) == {"interactive", "standard", "batch"}
+        assert (
+            classes["interactive"].deadline_ms
+            < classes["standard"].deadline_ms
+            < classes["batch"].deadline_ms
+        )
+        assert (
+            classes["interactive"].priority
+            > classes["standard"].priority
+            > classes["batch"].priority
+        )
+
+    def test_scale_multiplies_deadlines_only(self):
+        base = default_classes()
+        wide = default_classes(scale=3.0)
+        for name in base:
+            assert wide[name].deadline_ms == base[name].deadline_ms * 3.0
+            assert wide[name].priority == base[name].priority
+            assert wide[name].queue_limit == base[name].queue_limit
+
+    def test_scaled_preserves_identity_knobs(self):
+        sla = SLAClass(
+            "x", deadline_ms=100.0, max_steps=7, queue_limit=9, priority=4
+        )
+        wider = scaled(sla, 2.5)
+        assert wider.deadline_ms == 250.0
+        assert (wider.name, wider.max_steps, wider.queue_limit, wider.priority) == (
+            "x",
+            7,
+            9,
+            4,
+        )
+
+
+class TestValidateClasses:
+    def test_accepts_a_consistent_ladder(self):
+        classes = default_classes()
+        assert validate_classes(classes) is classes
+
+    def test_rejects_key_name_mismatch(self):
+        with pytest.raises(ServeError):
+            validate_classes(
+                {"fast": SLAClass("slow", deadline_ms=100.0)}
+            )
+
+    def test_rejects_duplicate_priorities(self):
+        with pytest.raises(ServeError):
+            validate_classes(
+                {
+                    "a": SLAClass("a", deadline_ms=100.0, priority=1),
+                    "b": SLAClass("b", deadline_ms=200.0, priority=1),
+                }
+            )
+
+    def test_rejects_an_empty_ladder(self):
+        with pytest.raises(ServeError):
+            validate_classes({})

@@ -17,13 +17,20 @@ from repro.core.topk import OUTCOME_FAILED, top_k_across_videos
 from repro.errors import InjectedFaultError, ShardError
 from repro.htl import parse
 from repro.model.database import VideoDatabase
-from repro.shard import ShardedCorpus
+from repro.shard import RetryPolicy, ShardedCorpus
 from repro.store import save_sharded
 from repro.testing.faults import FaultSpec, inject
 
 from tests.shard.conftest import graded_corpus
 
 FORMULA_TEXT = "$P1 and eventually $P2"
+
+# Two fast tries: enough to heal a transient fault, few enough that a
+# persistently dead shard stays below the breaker threshold (3), so a
+# later healthy query is not refused by an open breaker.
+FAST_RETRY = RetryPolicy(attempts=2, base_delay_ms=0.2, max_delay_ms=0.5)
+# The pre-retry behaviour, for tests about *unrecovered* shard death.
+NO_RETRY = RetryPolicy(attempts=1)
 
 
 def survivors_only(corpus, dead_names):
@@ -44,9 +51,13 @@ def survivors_only(corpus, dead_names):
 
 class TestShardLoadFaults:
     def test_lenient_matches_surviving_shards_alone(self, corpus):
-        sharded = ShardedCorpus.from_database(corpus, 3)
+        sharded = ShardedCorpus.from_database(corpus, 3, retry=FAST_RETRY)
         dead = sharded.shards[0].videos
-        spec = FaultSpec(site=resilience.SITE_SHARD_LOAD, max_faults=1)
+        # Persistent death: enough faults to exhaust shard-000's whole
+        # retry budget (transient faults now heal, see below).
+        spec = FaultSpec(
+            site=resilience.SITE_SHARD_LOAD, max_faults=FAST_RETRY.attempts
+        )
         with inject(spec) as chaos:
             result = sharded.top_k(
                 RetrievalEngine(),
@@ -55,7 +66,9 @@ class TestShardLoadFaults:
                 parallelism=None,
                 lenient=True,
             )
-        assert chaos.faults_at(resilience.SITE_SHARD_LOAD) == 1
+        assert chaos.faults_at(resilience.SITE_SHARD_LOAD) == (
+            FAST_RETRY.attempts
+        )
         assert result.partial
         failed = [
             o.video for o in result.outcomes if o.status == OUTCOME_FAILED
@@ -69,8 +82,10 @@ class TestShardLoadFaults:
         assert list(result) == list(survivors_only(corpus, set(dead)))
 
     def test_strict_raises_with_cause(self, corpus):
-        sharded = ShardedCorpus.from_database(corpus, 3)
-        spec = FaultSpec(site=resilience.SITE_SHARD_LOAD, max_faults=1)
+        sharded = ShardedCorpus.from_database(corpus, 3, retry=FAST_RETRY)
+        spec = FaultSpec(
+            site=resilience.SITE_SHARD_LOAD, max_faults=FAST_RETRY.attempts
+        )
         with inject(spec):
             with pytest.raises(ShardError) as caught:
                 sharded.top_k(
@@ -82,12 +97,34 @@ class TestShardLoadFaults:
         assert caught.value.shard == "shard-000"
         assert isinstance(caught.value.__cause__, InjectedFaultError)
 
+    def test_transient_fault_heals_inside_the_query(self, corpus):
+        """A single flaky read no longer marks the shard failed: the
+        retry policy absorbs it and the ranking is full and exact."""
+        expected = top_k_across_videos(
+            RetrievalEngine(), parse(FORMULA_TEXT), corpus, 8, prune=False
+        )
+        sharded = ShardedCorpus.from_database(corpus, 3, retry=FAST_RETRY)
+        spec = FaultSpec(site=resilience.SITE_SHARD_LOAD, max_faults=1)
+        with inject(spec) as chaos:
+            healed = sharded.top_k(
+                RetrievalEngine(),
+                parse(FORMULA_TEXT),
+                8,
+                parallelism=None,
+                lenient=True,
+            )
+        assert chaos.faults_at(resilience.SITE_SHARD_LOAD) == 1
+        assert not healed.partial
+        assert healed == expected
+
     def test_recovers_once_the_fault_clears(self, corpus):
         expected = top_k_across_videos(
             RetrievalEngine(), parse(FORMULA_TEXT), corpus, 8, prune=False
         )
-        sharded = ShardedCorpus.from_database(corpus, 3)
-        spec = FaultSpec(site=resilience.SITE_SHARD_LOAD, max_faults=1)
+        sharded = ShardedCorpus.from_database(corpus, 3, retry=FAST_RETRY)
+        spec = FaultSpec(
+            site=resilience.SITE_SHARD_LOAD, max_faults=FAST_RETRY.attempts
+        )
         with inject(spec):
             degraded = sharded.top_k(
                 RetrievalEngine(),
@@ -126,7 +163,7 @@ class TestShardLoadFaults:
         full = top_k_across_videos(
             RetrievalEngine(), parse(FORMULA_TEXT), corpus, 8, prune=False
         )
-        sharded = ShardedCorpus.from_database(corpus, 4)
+        sharded = ShardedCorpus.from_database(corpus, 4, retry=NO_RETRY)
         spec = FaultSpec(
             site=resilience.SITE_SHARD_LOAD, rate=0.5, max_faults=2
         )

@@ -453,3 +453,107 @@ class TestShard:
         codes = list(EXIT_CODES.values())
         assert len(set(codes)) == len(codes)
         assert exit_code_for(errors.ShardError("x")) == 27
+
+
+class TestServe:
+    def test_serves_queries_and_reports_ledger(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "serve",
+            "--dataset",
+            "western",
+            "--workers",
+            "2",
+            "--top",
+            "3",
+            "--level",
+            "4",
+            "exists x . present(x)",
+            "interactive:exists x . present(x)",
+        )
+        assert code == 0
+        assert "completed" in out
+        assert "[interactive]" in out
+        assert "served 2 request(s)" in err
+        assert "2 completed" in err
+
+    def test_json_payloads(self, capsys):
+        import json
+
+        code, out, __ = run_cli(
+            capsys,
+            "serve",
+            "--dataset",
+            "western",
+            "--json",
+            "--level",
+            "4",
+            "exists x . present(x)",
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in out.strip().splitlines()]
+        assert lines[0]["status"] == "completed"
+        assert lines[0]["sla"] == "standard"
+        stats = lines[-1]["stats"]
+        assert stats["conserved"] is True
+        assert stats["admitted"] == 1
+
+    def test_store_and_shard_dir_mutually_exclusive(self, capsys, tmp_path):
+        code, __, err = run_cli(
+            capsys,
+            "serve",
+            "--shard-dir",
+            str(tmp_path),
+            "--store",
+            str(tmp_path),
+            "x",
+        )
+        assert code == EXIT_CODES[errors.ServeError]
+        assert "mutually exclusive" in err
+
+    def test_syntax_error_maps_to_htl_code(self, capsys):
+        code, __, err = run_cli(
+            capsys, "serve", "--dataset", "western", "and and"
+        )
+        assert code == EXIT_CODES[errors.HTLSyntaxError]
+        assert "error:" in err
+
+    def test_serve_exit_codes_are_distinct(self):
+        codes = list(EXIT_CODES.values())
+        assert len(set(codes)) == len(codes)
+        assert exit_code_for(errors.ServeError("x")) == 28
+        assert exit_code_for(errors.ServeRejected("x")) == 29
+
+
+class TestSigint:
+    def test_interrupt_mid_serve_drains_and_exits_130(
+        self, capsys, monkeypatch
+    ):
+        from repro import cli
+
+        def interrupted_lines(arguments):
+            yield "exists x . present(x)"
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_serve_lines", interrupted_lines)
+        code, out, err = run_cli(
+            capsys, "serve", "--dataset", "western", "--level", "4"
+        )
+        assert code == 130
+        assert "draining" in err
+        # The admitted request still reports a terminal outcome: the
+        # drain finished it, nothing was dropped.
+        assert "#1" in out
+        assert "served 1 request(s)" in err
+
+    def test_interrupt_elsewhere_is_clean(self, capsys, monkeypatch):
+        from repro import cli
+
+        def boom(arguments):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_datasets", boom)
+        code, __, err = run_cli(capsys, "datasets")
+        assert code == 130
+        assert "interrupted" in err
+        assert "Traceback" not in err

@@ -16,6 +16,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.store",
+    "repro.shard",
+    "repro.serve",
 ]
 
 
