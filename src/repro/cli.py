@@ -27,6 +27,7 @@ from repro.errors import (
     HTLError,
     HTLSyntaxError,
     HTLTypeError,
+    IngestError,
     InjectedFaultError,
     InvalidIntervalError,
     InvalidSimilarityError,
@@ -48,6 +49,7 @@ from repro.errors import (
     StoreWriteError,
     UnknownLevelError,
     UnsupportedFormulaError,
+    WALCorruptionError,
     WorkloadError,
 )
 from repro.htl import parse, paper_class, pretty, skeleton_class
@@ -96,6 +98,8 @@ EXIT_CODES = {
     ShardError: 27,
     ServeError: 28,
     ServeRejected: 29,
+    IngestError: 30,
+    WALCorruptionError: 31,
 }
 
 #: The conventional 128+SIGINT code: an interrupted run that drained
@@ -510,6 +514,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit one JSON payload per result plus a stats payload",
+    )
+
+    ingest_cmd = commands.add_parser(
+        "ingest",
+        help="crash-safe streaming ingestion (WAL-backed appends, "
+        "checkpoints, recovery)",
+    )
+    ingest_actions = ingest_cmd.add_subparsers(
+        dest="ingest_command", required=True
+    )
+
+    def _ingest_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir",
+            dest="ingest_dir",
+            required=True,
+            help="ingest root directory (base/, wal.log, deltas/)",
+        )
+
+    ingest_init = ingest_actions.add_parser(
+        "init", help="create an ingest directory seeded from a dataset"
+    )
+    _ingest_common(ingest_init)
+    ingest_init.add_argument(
+        "--dataset",
+        choices=sorted(_DATASETS),
+        default=None,
+        help="built-in dataset to seed the base snapshot with "
+        "(default: an empty corpus)",
+    )
+
+    ingest_append = ingest_actions.add_parser(
+        "append", help="log and apply operations from a JSON ops file"
+    )
+    _ingest_common(ingest_append)
+    ingest_append.add_argument(
+        "--ops",
+        dest="ops_file",
+        required=True,
+        help="JSON file holding a list of ingest-op documents",
+    )
+    ingest_append.add_argument(
+        "--batch",
+        type=_positive_int,
+        default=None,
+        help="fsync after every N records instead of once at the end",
+    )
+
+    ingest_checkpoint = ingest_actions.add_parser(
+        "checkpoint", help="fold the committed WAL into a delta snapshot"
+    )
+    _ingest_common(ingest_checkpoint)
+    ingest_checkpoint.add_argument(
+        "--full",
+        action="store_true",
+        help="merge the whole delta chain into one artifact",
+    )
+
+    ingest_recover = ingest_actions.add_parser(
+        "recover", help="replay the committed state and report provenance"
+    )
+    _ingest_common(ingest_recover)
+    ingest_recover.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip digest verification (structural checks remain)",
     )
     return parser
 
@@ -1032,6 +1102,87 @@ def cmd_datasets(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(arguments: argparse.Namespace) -> int:
+    import json
+
+    from repro.ingest import Ingester, decode_op, initialise, recover
+
+    if arguments.ingest_command == "init":
+        if arguments.dataset is not None:
+            __, loader = _DATASETS[arguments.dataset]
+            database = loader()
+        else:
+            database = VideoDatabase()
+        with initialise(arguments.ingest_dir, database) as ingester:
+            print(
+                f"initialised ingest directory at {ingester.layout.root}: "
+                f"{len(ingester.database)} video(s) in the base snapshot"
+            )
+        return 0
+    if arguments.ingest_command == "append":
+        try:
+            with open(arguments.ops_file, "r", encoding="utf-8") as handle:
+                documents = json.load(handle)
+        except OSError as error:
+            raise IngestError(
+                f"cannot read ops file: {error}", path=arguments.ops_file
+            ) from error
+        except ValueError as error:
+            raise IngestError(
+                f"ops file is not JSON: {error}", path=arguments.ops_file
+            ) from error
+        if not isinstance(documents, list):
+            raise IngestError(
+                "ops file must hold a JSON list of ingest-op documents",
+                path=arguments.ops_file,
+            )
+        operations = [decode_op(document) for document in documents]
+        with Ingester(
+            arguments.ingest_dir, auto_commit=arguments.batch
+        ) as ingester:
+            first = ingester.last_sequence + 1
+            for op in operations:
+                ingester.submit(op)
+            batch = ingester.commit()
+            print(
+                f"appended {len(operations)} record(s) "
+                f"(sequences {first}..{ingester.last_sequence}), "
+                f"touching {len(batch) or len(ingester.dirty)} video(s)"
+            )
+            print(f"dirty since last checkpoint: {', '.join(ingester.dirty)}")
+        return 0
+    if arguments.ingest_command == "checkpoint":
+        with Ingester(arguments.ingest_dir) as ingester:
+            info = ingester.checkpoint(full=arguments.full)
+            if info is None:
+                print("nothing to checkpoint: no videos dirty")
+                return 0
+            kind = "full" if info.full else "incremental"
+            print(
+                f"checkpointed ({kind}) {info.delta}: "
+                f"{len(info.videos)} video(s) through WAL sequence "
+                f"{info.wal_through}"
+            )
+            if info.superseded:
+                print(f"superseded: {', '.join(info.superseded)}")
+        return 0
+    state = recover(arguments.ingest_dir, verify=not arguments.no_verify)
+    state.wal.close()
+    print(
+        f"recovered {state.snapshot_id}"
+        f" ({'verified' if state.verified else 'unverified'}):"
+        f" {len(state.database)} video(s),"
+        f" {len(state.deltas)} delta(s),"
+        f" {state.replayed} WAL record(s) replayed,"
+        f" {state.skipped} skipped"
+    )
+    for action in state.actions:
+        print(f"  {action}")
+    for path in state.quarantined:
+        print(f"  quarantined: {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
@@ -1066,6 +1217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "store": cmd_store,
         "shard": cmd_shard,
         "serve": cmd_serve,
+        "ingest": cmd_ingest,
     }
     try:
         return handlers[arguments.command](arguments)

@@ -86,6 +86,7 @@ class EvaluationCache:
     ):
         self._lock = threading.Lock()
         self._generation: Optional[int] = None
+        self._video_generations: Dict[str, int] = {}
         self._tables: Dict[Hashable, SimilarityTable] = {}
         self._lists: Dict[Hashable, SimilarityList] = {}
         self.max_tables = max_tables
@@ -100,21 +101,79 @@ class EvaluationCache:
     # invalidation
     # ------------------------------------------------------------------
     def sync(self, generation: int) -> None:
-        """Observe the database generation; drop everything on a change."""
+        """Observe the database generation; drop everything on a change.
+
+        The coarse legacy protocol, kept for whole-database swaps.  The
+        engine's per-video path (:meth:`sync_video`) makes an ingest of
+        one video invisible to every other video's memoized entries.
+        """
         with self._lock:
             if self._generation is None:
                 self._generation = generation
             elif self._generation != generation:
                 self._tables.clear()
                 self._lists.clear()
+                self._video_generations.clear()
                 self._invalidations += 1
                 self._generation = generation
+
+    def sync_video(self, video_id: str, stamp: int) -> None:
+        """Observe one video's generation stamp; on a change drop only
+        that video's entries.
+
+        Stamps are monotonic per video (:meth:`repro.model.database.
+        VideoDatabase.video_generation`), but the cache only compares for
+        inequality, so it also tolerates a database swap that rewinds a
+        stamp.  Entries of other videos stay warm — the fix for the
+        all-or-nothing invalidation that made any append discard every
+        memoized table.
+        """
+        with self._lock:
+            known = self._video_generations.get(video_id)
+            if known is None:
+                self._video_generations[video_id] = stamp
+            elif known != stamp:
+                self._video_generations[video_id] = stamp
+                self._drop_video_locked(video_id)
+
+    def invalidate_video(self, video_id: str) -> int:
+        """Drop every entry scoped to one video; returns how many fell.
+
+        Matching is by key shape: list keys carry the video name as a
+        component, table keys carry it inside their ``(video, level)``
+        scope tuple.  A key part merely *containing* the name deeper down
+        can over-match — over-invalidation is safe, under-invalidation is
+        not.
+        """
+        with self._lock:
+            return self._drop_video_locked(video_id)
+
+    def _drop_video_locked(self, video_id: str) -> int:
+        def touches(key: Hashable) -> bool:
+            if not isinstance(key, tuple):
+                return False
+            return any(
+                part == video_id
+                or (isinstance(part, tuple) and video_id in part)
+                for part in key
+            )
+
+        stale_tables = [key for key in self._tables if touches(key)]
+        stale_lists = [key for key in self._lists if touches(key)]
+        for key in stale_tables:
+            del self._tables[key]
+        for key in stale_lists:
+            del self._lists[key]
+        if stale_tables or stale_lists:
+            self._invalidations += 1
+        return len(stale_tables) + len(stale_lists)
 
     def clear(self) -> None:
         """Drop all cached entries (counters are kept)."""
         with self._lock:
             self._tables.clear()
             self._lists.clear()
+            self._video_generations.clear()
 
     # ------------------------------------------------------------------
     # tables (subformula memoization)
@@ -205,7 +264,14 @@ class PlanCache:
     def __init__(self, max_plans: int = DEFAULT_MAX_PLANS):
         self._lock = threading.Lock()
         self._generation: Optional[int] = None
+        self._video_generations: Dict[str, int] = {}
         self._plans: Dict[Hashable, Any] = {}
+        # Per-video tags: plan keys are statistics-signature keyed, so
+        # one key may serve several videos whose indexes share a
+        # signature.  A video's invalidation drops a tagged key only once
+        # no other video still holds it.
+        self._video_keys: Dict[str, set] = {}
+        self._key_videos: Dict[Hashable, set] = {}
         self.max_plans = max_plans
         self._hits = 0
         self._misses = 0
@@ -217,20 +283,71 @@ class PlanCache:
             if self._generation is None:
                 self._generation = generation
             elif self._generation != generation:
-                self._plans.clear()
+                self._clear_locked()
                 self._invalidations += 1
                 self._generation = generation
+
+    def sync_video(self, video_id: str, stamp: int) -> None:
+        """Observe one video's stamp; drop only its plans on a change.
+
+        Signature-keyed plans cannot silently go stale (a changed index
+        changes the signature, hence the key), so this is about memory
+        and honest misses, not correctness: the retired keys are exactly
+        the ones the mutated video can never hit again.
+        """
+        with self._lock:
+            known = self._video_generations.get(video_id)
+            if known is None:
+                self._video_generations[video_id] = stamp
+            elif known != stamp:
+                self._video_generations[video_id] = stamp
+                self._drop_video_locked(video_id)
+
+    def invalidate_video(self, video_id: str) -> int:
+        """Drop plans tagged (only) to one video; returns how many fell."""
+        with self._lock:
+            return self._drop_video_locked(video_id)
+
+    def _drop_video_locked(self, video_id: str) -> int:
+        dropped = 0
+        for key in self._video_keys.pop(video_id, set()):
+            holders = self._key_videos.get(key)
+            if holders is None:
+                continue
+            holders.discard(video_id)
+            if not holders:
+                del self._key_videos[key]
+                if self._plans.pop(key, None) is not None:
+                    dropped += 1
+        if dropped:
+            self._invalidations += 1
+        return dropped
+
+    def _clear_locked(self) -> None:
+        self._plans.clear()
+        self._video_keys.clear()
+        self._key_videos.clear()
+        self._video_generations.clear()
+
+    def _untag_locked(self, key: Hashable) -> None:
+        for video_id in self._key_videos.pop(key, set()):
+            keys = self._video_keys.get(video_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._video_keys[video_id]
 
     def clear(self) -> None:
         """Drop all cached plans (counters are kept)."""
         with self._lock:
-            self._plans.clear()
+            self._clear_locked()
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one plan (adaptive re-plan); True if it was cached."""
         with self._lock:
             if key in self._plans:
                 del self._plans[key]
+                self._untag_locked(key)
                 self._invalidations += 1
                 return True
             return False
@@ -244,11 +361,18 @@ class PlanCache:
                 self._hits += 1
             return plan
 
-    def put(self, key: Hashable, plan: Any) -> None:
+    def put(
+        self, key: Hashable, plan: Any, video: Optional[str] = None
+    ) -> None:
         with self._lock:
             while len(self._plans) >= self.max_plans:
-                self._plans.pop(next(iter(self._plans)))
+                evicted = next(iter(self._plans))
+                self._plans.pop(evicted)
+                self._untag_locked(evicted)
             self._plans[key] = plan
+            if video is not None:
+                self._video_keys.setdefault(video, set()).add(key)
+                self._key_videos.setdefault(key, set()).add(video)
 
     def stats(self) -> PlanCacheStats:
         with self._lock:

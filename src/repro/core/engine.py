@@ -219,7 +219,9 @@ class RetrievalEngine:
         )
         key: Optional[Tuple[Any, ...]] = None
         if use_cache:
-            cache.sync(database.generation)
+            # Per-video sync: an ingest into one video must not evict
+            # every other video's memoized tables and lists.
+            cache.sync_video(video.name, database.video_generation(video.name))
             key = (
                 "list",
                 ast.structural_key(formula),
@@ -278,8 +280,11 @@ class RetrievalEngine:
                 context.level,
                 self.config,
                 generation=(
-                    database.generation if database is not None else None
+                    database.video_generation(context.video.name)
+                    if database is not None
+                    else None
                 ),
+                video=context.video.name,
             )
         except BudgetExceededError:
             raise

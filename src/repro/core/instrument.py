@@ -124,6 +124,19 @@ SERVE_SHED = "serve-shed"
 SERVE_DEGRADED = "serve-degraded"
 SERVE_REQUEUED = "serve-requeued"
 
+#: Canonical event-counter names of the streaming-ingest layer
+#: (DESIGN.md §15).  The append/commit pair is the durability ledger
+#: (records written vs. records made durable); the replay/truncate/
+#: quarantine trio surfaces every recovery action, mirroring the store's
+#: counters above.
+WAL_RECORD_APPENDED = "wal-record-appended"
+WAL_COMMITTED = "wal-committed"
+WAL_RECORD_REPLAYED = "wal-record-replayed"
+WAL_TAIL_TRUNCATED = "wal-tail-truncated"
+WAL_RECORD_QUARANTINED = "wal-record-quarantined"
+INGEST_CHECKPOINT = "ingest-checkpoint"
+INDEX_APPENDED = "index-appended"
+
 #: Canonical latency-histogram names of the top-k layer (seconds).
 QUERY_LATENCY = "query-seconds"
 VIDEO_LATENCY = "video-seconds"

@@ -533,15 +533,22 @@ class Planner:
         level: int,
         config: Hashable,
         generation: Optional[int] = None,
+        video: Optional[str] = None,
     ) -> QueryPlan:
         """The cached plan for one (formula, index, level, config).
 
-        ``generation`` is the owning database's mutation counter; passing
-        it keeps the plan cache coherent across index rebuilds exactly
+        ``generation`` is a mutation counter that keeps the plan cache
+        coherent across index rebuilds.  With ``video`` it is the owning
+        video's per-video stamp and only that video's tagged plans retire
+        on a change (:meth:`PlanCache.sync_video`); without it, it is the
+        database-wide counter and any change drops every plan, exactly
         like :meth:`EvaluationCache.sync`.
         """
         if generation is not None:
-            self.cache.sync(generation)
+            if video is not None:
+                self.cache.sync_video(video, generation)
+            else:
+                self.cache.sync(generation)
         stats = Statistics.from_pictures(pictures)
         key = ("plan", ast.structural_key(formula), level, config, stats.signature)
         cached = self.cache.get(key)
@@ -554,7 +561,7 @@ class Planner:
             self._cache_misses += 1
         trace.bump(PLAN_CACHE_MISS)
         plan = self._build(formula, pictures, stats, level, config, key)
-        self.cache.put(key, plan)
+        self.cache.put(key, plan, video=video)
         return plan
 
     def _build(

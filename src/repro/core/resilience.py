@@ -84,6 +84,16 @@ SITE_SHARD_LOAD = "shard-load"
 SITE_SERVE_ADMIT = "serve-admit"
 SITE_SERVE_WORKER = "serve-worker"
 SITE_SERVE_DRAIN = "serve-drain"
+#: Ingest fault sites of :mod:`repro.ingest` (DESIGN.md §15): the write
+#: of one framed WAL record (``short_write`` here leaves a real torn
+#: record on disk), the fsync that makes a batch durable (a raise models
+#: a crash before the commit marker moves), every record read on the
+#: replay path (``corrupt`` flips bits in committed bytes), and the
+#: delta-manifest replace that is a checkpoint's commit point.
+SITE_WAL_APPEND = "wal-append"
+SITE_WAL_FSYNC = "wal-fsync"
+SITE_WAL_REPLAY = "wal-replay"
+SITE_COMPACT_COMMIT = "compact-commit"
 
 FAULT_SITES = (
     SITE_INDEX_LOOKUP,
@@ -97,6 +107,10 @@ FAULT_SITES = (
     SITE_SERVE_ADMIT,
     SITE_SERVE_WORKER,
     SITE_SERVE_DRAIN,
+    SITE_WAL_APPEND,
+    SITE_WAL_FSYNC,
+    SITE_WAL_REPLAY,
+    SITE_COMPACT_COMMIT,
 )
 
 #: The installed fault hook (``None`` in production).  A hook is an object
@@ -127,6 +141,23 @@ def fault_value(site: str, value: Any) -> Any:
     if hook is not None:
         return hook.corrupt(site, value)
     return value
+
+
+def fault_short_write(site: str, data: bytes) -> Optional[bytes]:
+    """Production-side short-write hook: a truncated prefix, or ``None``.
+
+    When an injector with a ``short_write`` spec is armed at this site it
+    returns a strict prefix of ``data``; the caller is expected to write
+    *those* bytes and then fail as if the process died mid-write, leaving
+    a genuinely torn record on disk.  ``None`` (the production constant)
+    means write normally.
+    """
+    hook = _fault_hook
+    if hook is not None:
+        shorten = getattr(hook, "shorten", None)
+        if shorten is not None:
+            return shorten(site, data)
+    return None
 
 
 # ---------------------------------------------------------------------------

@@ -229,6 +229,48 @@ class StoreVersionError(StoreError):
     """The on-disk store carries a format version this build cannot read."""
 
 
+class IngestError(ReproError):
+    """Base class for the streaming-ingest layer (:mod:`repro.ingest`).
+
+    Raised for structural problems of an ingest directory (missing or
+    malformed WAL commit marker, an unreadable delta manifest), for
+    operations rejected before they reach the WAL (unknown video, a
+    non-flat hierarchy, an annotation past the segment range), and as
+    the base of :class:`WALCorruptionError`.  ``path`` points at the
+    ingest root (or the specific file) the failure concerns, when known.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        self.path = path
+        super().__init__(message)
+
+
+class WALCorruptionError(IngestError):
+    """A committed WAL record failed its CRC or framing check.
+
+    Damage *past* the commit point is a torn tail — recovery quarantines
+    and truncates it silently.  Damage *inside* the committed prefix is
+    real corruption: the recovered state could no longer equal the
+    committed prefix, so recovery quarantines the damaged bytes (never
+    deletes) and raises this.  ``offset`` is the byte offset of the
+    damaged record in the log; ``record`` its 0-based record number;
+    ``quarantined`` where the damaged bytes were preserved.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str = "",
+        offset: int = 0,
+        record: int = 0,
+        quarantined: tuple = (),
+    ):
+        self.offset = offset
+        self.record = record
+        self.quarantined = tuple(quarantined)
+        super().__init__(message, path=path)
+
+
 class ShardError(StoreError):
     """A sharded-corpus operation failed (:mod:`repro.shard`).
 

@@ -1,0 +1,48 @@
+"""Crash-safe streaming ingestion (DESIGN.md §15).
+
+The append-oriented mutation path of the corpus: a write-ahead log with
+a strict commit point (:mod:`repro.ingest.wal`), typed operations whose
+apply path is shared between live ingest and recovery
+(:mod:`repro.ingest.ops`), replay that reconstructs exactly the
+committed prefix (:mod:`repro.ingest.recover`), and log compaction into
+checkpoint deltas (:mod:`repro.ingest.compact`).  The front door is
+:class:`~repro.ingest.ingester.Ingester` / :func:`initialise`.
+"""
+
+from repro.ingest.compact import CheckpointInfo, Compactor, read_manifest
+from repro.ingest.ingester import Ingester, initialise
+from repro.ingest.layout import IngestLayout
+from repro.ingest.ops import (
+    AddAnnotations,
+    AddVideo,
+    AppendSegments,
+    IngestOp,
+    apply,
+    decode_op,
+    encode_op,
+    validate,
+)
+from repro.ingest.recover import RecoveredState, recover
+from repro.ingest.wal import WriteAheadLog, decode_record, encode_record
+
+__all__ = [
+    "AddAnnotations",
+    "AddVideo",
+    "AppendSegments",
+    "CheckpointInfo",
+    "Compactor",
+    "IngestLayout",
+    "IngestOp",
+    "Ingester",
+    "RecoveredState",
+    "WriteAheadLog",
+    "apply",
+    "decode_op",
+    "decode_record",
+    "encode_op",
+    "encode_record",
+    "initialise",
+    "read_manifest",
+    "recover",
+    "validate",
+]

@@ -26,10 +26,42 @@ class VideoDatabase:
         # Bumped on every mutation; EvaluationCache.sync compares it to
         # decide when memoized results are stale.
         self._generation = 0
+        # Per-video stamps: each mutation also stamps the one video it
+        # touched with the new global generation, so caches can invalidate
+        # only that video's entries (EvaluationCache.sync_video) instead
+        # of dropping everything on any change.
+        self._video_generations: Dict[str, int] = {}
 
     @property
     def generation(self) -> int:
         """Mutation counter: changes whenever cached results would be stale."""
+        return self._generation
+
+    def video_generation(self, name: str) -> int:
+        """The monotonic stamp of one video's last mutation (0 if never).
+
+        Stamps share the global generation's number line, so for any
+        video ``video_generation(name) <= generation``, and two distinct
+        mutations never reuse a stamp.
+        """
+        return self._video_generations.get(name, 0)
+
+    def video_generations(self) -> Dict[str, int]:
+        """A snapshot of every video's stamp (for checkpoint bookkeeping)."""
+        return dict(self._video_generations)
+
+    def touch(self, name: str) -> int:
+        """Declare that a video's content changed in place; returns its
+        new stamp.
+
+        The ingest path mutates hierarchies directly (appending segments
+        to a registered video), which the database cannot observe — this
+        is how such a mutation enters the generation bookkeeping.
+        """
+        if name not in self._videos:
+            raise ModelError(f"cannot touch unknown video {name!r}")
+        self._generation += 1
+        self._video_generations[name] = self._generation
         return self._generation
 
     # -- videos --------------------------------------------------------------
@@ -39,6 +71,23 @@ class VideoDatabase:
             raise ModelError(f"video {video.name!r} already in the database")
         self._videos[video.name] = video
         self._generation += 1
+        self._video_generations[video.name] = self._generation
+        return video
+
+    def replace(self, video: Video) -> Video:
+        """Swap in a newer copy of an already-registered video.
+
+        Recovery applies checkpoint deltas this way: a delta carries the
+        full document of every video it covers, which supersedes the
+        copy loaded from the base snapshot (or an earlier delta).
+        """
+        if video.name not in self._videos:
+            raise ModelError(
+                f"cannot replace unknown video {video.name!r}"
+            )
+        self._videos[video.name] = video
+        self._generation += 1
+        self._video_generations[video.name] = self._generation
         return video
 
     def get(self, name: str) -> Video:
@@ -80,6 +129,7 @@ class VideoDatabase:
             )
         self._atomic[(predicate, video, level)] = sim_list
         self._generation += 1
+        self._video_generations[video] = self._generation
 
     def atomic_list(
         self, predicate: str, video: str, level: int = 2
@@ -104,3 +154,31 @@ class VideoDatabase:
     def atomic_names(self) -> List[str]:
         """Distinct registered atomic predicate names."""
         return sorted({key[0] for key in self._atomic})
+
+    def video_atomics(
+        self, video: str
+    ) -> List[Tuple[str, int, SimilarityList]]:
+        """Every registered ``(predicate, level, list)`` of one video.
+
+        Checkpoint deltas persist a video's complete annotation set
+        alongside its document, so applying the delta needs no diffing.
+        """
+        return [
+            (predicate, level, sim)
+            for (predicate, name, level), sim in self._atomic.items()
+            if name == video
+        ]
+
+    def drop_video_atomics(self, video: str) -> int:
+        """Remove every atomic list of one video; returns how many fell.
+
+        Used when a checkpoint delta replaces a video wholesale — its
+        annotation set is re-registered from the delta afterwards.
+        """
+        stale = [key for key in self._atomic if key[1] == video]
+        for key in stale:
+            del self._atomic[key]
+        if stale:
+            self._generation += 1
+            self._video_generations[video] = self._generation
+        return len(stale)

@@ -220,6 +220,59 @@ class Video:
                 seen.setdefault(object_id, None)
         return list(seen)
 
+    # -- incremental growth -----------------------------------------------
+    def append_segments(
+        self, segments: Sequence[SegmentMetadata]
+    ) -> List[VideoNode]:
+        """Append leaf segments to a flat (≤ two-level) video in place.
+
+        The streaming-ingest mutation primitive.  Unlike raw
+        ``root.add_child`` calls — which drop every cached picture system
+        up the ancestor chain — this keeps the root's installed systems
+        warm: the level-1 system covers only the root's own metadata
+        (unaffected), and the level-2 system is extended incrementally via
+        :meth:`~repro.pictures.retrieval.PictureRetrievalSystem.
+        append_segments`.  Deeper hierarchies have no well-defined "append
+        at the end" (which subtree grows?), so only the paper's flat shape
+        is supported.
+        """
+        if self.depth > 2:
+            raise HierarchyError(
+                f"video {self.name!r} has {self.depth} levels; segments "
+                "can only be appended to a flat (two-level) video"
+            )
+        if not segments:
+            return []
+        root = self.root
+        pictures = root._pictures
+        root._pictures = None
+        added: List[VideoNode] = []
+        for position, metadata in enumerate(
+            segments, start=len(root.children) + 1
+        ):
+            child = VideoNode(metadata=metadata)
+            child.level = 2
+            child.index = position
+            child.parent = root
+            root.children.append(child)
+            added.append(child)
+        self.depth = 2
+        # A video born empty had no leaf level to name yet.
+        if 2 not in self.level_names:
+            self.level_names[2] = "shot"
+            self._name_to_level["shot"] = 2
+        if pictures:
+            level_one = pictures.get(1)
+            if level_one is not None:
+                root.install_pictures(1, level_one)
+            level_two = pictures.get(2)
+            if level_two is not None:
+                level_two.append_segments(
+                    [child.metadata for child in added]
+                )
+                root.install_pictures(2, level_two)
+        return added
+
 
 def flat_video(
     name: str,

@@ -164,6 +164,107 @@ class MetadataIndex:
             for segment in segments
         )
         self.n_profiles = len(profile_ids)
+        # Retained so append_segments assigns the same profile ids a full
+        # rebuild would.  None after from_dict: the persisted document has
+        # no content keys, so appends to a restored index open a fresh id
+        # space above n_profiles (equal ids still imply equal content —
+        # only cross-boundary sharing is lost).
+        self._profile_keys: Optional[Dict[tuple, int]] = profile_ids
+
+    # -- incremental maintenance ----------------------------------------------
+    def append_segments(self, segments: Sequence[SegmentMetadata]) -> int:
+        """Extend the index over ``segments`` appended after the current
+        sequence; returns the new segment count.
+
+        Every postings family, the type pools, the content profiles and
+        therefore :meth:`stats` are updated in place — no rebuild.  New ids
+        continue the 1-based numbering, and because appends only ever add
+        larger ids at the tails of posting tuples, the result is
+        element-for-element identical to an index built over the full
+        sequence (property-tested), except possibly for profile ids after
+        a :meth:`from_dict` restore (see ``_profile_keys``).
+        """
+        if not segments:
+            return self.n_segments
+        by_object: Dict[str, List[int]] = {}
+        by_type: Dict[str, List[int]] = {}
+        by_relationship: Dict[str, List[int]] = {}
+        by_segment_attr: Dict[Tuple[str, AttrValue], List[int]] = {}
+        by_attr_name: Dict[str, List[int]] = {}
+        with_any_object: List[int] = []
+        typed_seen = {
+            (type_name, object_id)
+            for type_name, object_ids in self._objects_of_type.items()
+            for object_id in object_ids
+        }
+        for segment_id, segment in enumerate(
+            segments, start=self.n_segments + 1
+        ):
+            saw_object = False
+            for instance in segment.objects():
+                saw_object = True
+                by_object.setdefault(instance.object_id, []).append(
+                    segment_id
+                )
+                type_postings = by_type.setdefault(instance.type, [])
+                if not type_postings or type_postings[-1] != segment_id:
+                    type_postings.append(segment_id)
+                type_key = (instance.type, instance.object_id)
+                if type_key not in typed_seen:
+                    typed_seen.add(type_key)
+                    self._objects_of_type.setdefault(
+                        instance.type, []
+                    ).append(instance.object_id)
+            if saw_object:
+                with_any_object.append(segment_id)
+            for relationship in segment.relationships:
+                rel_postings = by_relationship.setdefault(
+                    relationship.name, []
+                )
+                if not rel_postings or rel_postings[-1] != segment_id:
+                    rel_postings.append(segment_id)
+            for name, fact in segment.attributes.items():
+                by_segment_attr.setdefault((name, fact.value), []).append(
+                    segment_id
+                )
+                by_attr_name.setdefault(name, []).append(segment_id)
+        for key, values in by_object.items():
+            self._by_object[key] = self._by_object.get(key, _EMPTY) + tuple(
+                values
+            )
+        for key, values in by_type.items():
+            self._by_type[key] = self._by_type.get(key, _EMPTY) + tuple(
+                values
+            )
+        for key, values in by_relationship.items():
+            self._by_relationship[key] = self._by_relationship.get(
+                key, _EMPTY
+            ) + tuple(values)
+        for attr_key, values in by_segment_attr.items():
+            self._by_segment_attr[attr_key] = self._by_segment_attr.get(
+                attr_key, _EMPTY
+            ) + tuple(values)
+        for key, values in by_attr_name.items():
+            self._by_attr_name[key] = self._by_attr_name.get(
+                key, _EMPTY
+            ) + tuple(values)
+        self._with_any_object = self._with_any_object + tuple(
+            with_any_object
+        )
+        if self._profile_keys is None:
+            self._profile_keys = {}
+        profiles = list(self._segment_profiles)
+        for segment in segments:
+            content = _content_key(segment)
+            profile = self._profile_keys.get(content)
+            if profile is None:
+                profile = self.n_profiles
+                self._profile_keys[content] = profile
+                self.n_profiles += 1
+            profiles.append(profile)
+        self._segment_profiles = tuple(profiles)
+        self.n_segments += len(segments)
+        return self.n_segments
 
     # -- postings -----------------------------------------------------------
     def segments_with_object(self, object_id: str) -> Tuple[int, ...]:
@@ -330,6 +431,7 @@ class MetadataIndex:
                 int(p) for p in document["segment_profiles"]
             )
             index.n_profiles = int(document["n_profiles"])
+            index._profile_keys = None
         except ModelError:
             raise
         except Exception as error:

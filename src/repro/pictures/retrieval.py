@@ -147,6 +147,24 @@ class PictureRetrievalSystem:
         """Object ids appearing anywhere in the sequence."""
         return list(self._universe)
 
+    def append_segments(self, segments: Sequence[SegmentMetadata]) -> int:
+        """Extend the system over segments appended to its sequence.
+
+        The metadata index is maintained in place
+        (:meth:`~repro.pictures.index.MetadataIndex.append_segments`); the
+        support analyzer is rebuilt because its pool-postings memo caches
+        intersections over the old postings, and the ∃-pool universe is
+        refreshed.  Returns the new sequence length.
+        """
+        if not segments:
+            return len(self.segments)
+        self.segments.extend(segments)
+        self.index.append_segments(segments)
+        self._analyzer = SupportAnalyzer(self.index)
+        self._universe = self.index.all_object_ids()
+        instrument.count(instrument.INDEX_APPENDED)
+        return len(self.segments)
+
     def atom_support(
         self,
         atom: ast.Formula,

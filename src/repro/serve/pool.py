@@ -182,6 +182,32 @@ class EnginePool:
                 warmed += 1
         return warmed
 
+    def refresh(
+        self, video_names: Optional[Sequence[str]] = None, level: int = 2
+    ) -> int:
+        """Re-warm after a live ingest batch landed (checkpoint/commit).
+
+        ``video_names`` limits the work to the videos the batch touched
+        (``None`` re-warms everything).  Per-worker caches need no
+        explicit drop: engines sync against per-video generation stamps,
+        so each touched video's stale entries fall on its next query.
+        Rebuilding the picture indexes here moves that cost off the
+        serving path.  Returns the number of videos re-warmed.
+
+        Designed as an ingest commit listener::
+
+            ingester.add_listener(pool.refresh)
+        """
+        wanted = None if video_names is None else set(video_names)
+        warmed = 0
+        for database in self._databases():
+            for video in database.videos():
+                if wanted is not None and video.name not in wanted:
+                    continue
+                video.root.pictures_at_level(min(level, video.n_levels))
+                warmed += 1
+        return warmed
+
     def _databases(self) -> Sequence[VideoDatabase]:
         if self._corpus is not None:
             return [shard.database() for shard in self._corpus.shards]

@@ -49,8 +49,13 @@ from repro.errors import InjectedFaultError
 RAISE = "raise"
 DELAY = "delay"
 CORRUPT = "corrupt"
+#: A partial write: the site receives a strict prefix of the bytes it
+#: meant to write and then dies (the caller raises after flushing the
+#: prefix).  This is how the WAL torn-tail tests put *real* truncated
+#: records on disk instead of merely corrupted whole records.
+SHORT_WRITE = "short_write"
 
-MODES = (RAISE, DELAY, CORRUPT)
+MODES = (RAISE, DELAY, CORRUPT, SHORT_WRITE)
 
 
 @dataclass(frozen=True)
@@ -236,6 +241,22 @@ class FaultInjector:
             if isinstance(value, SimilarityList):
                 return corrupt_similarity_list(value, self._random)
             return corrupt_bytes(bytes(value), self._random)
+
+    def shorten(self, site: str, data: bytes) -> Optional[bytes]:
+        """A strict prefix of ``data`` when a short-write spec fires
+        (hook protocol; None means write normally).
+
+        The prefix length is drawn deterministically in ``[0, len)``,
+        so sweeps over seeds exercise everything from a zero-byte torn
+        record to one missing only its final byte.
+        """
+        if not data:
+            return None
+        armed = self._arm(site, (SHORT_WRITE,))
+        if armed is None:
+            return None
+        with self._lock:
+            return bytes(data[: self._random.randrange(len(data))])
 
 
 @contextmanager

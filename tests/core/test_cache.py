@@ -117,7 +117,10 @@ class TestInvalidation:
             formula, video, database=database
         )
 
-    def test_add_video_invalidates(self):
+    def test_add_video_leaves_other_videos_warm(self):
+        # Invalidation is per video: registering an unrelated video must
+        # not discard v0's memoized list (the pre-ingest behavior dropped
+        # everything on any generation bump).
         database = atomic_database()
         cache = EvaluationCache()
         engine = RetrievalEngine(cache=cache)
@@ -125,7 +128,8 @@ class TestInvalidation:
         engine.evaluate_video(formula, database.get("v0"), database=database)
         database.add(flat_video("extra", [SegmentMetadata()]))
         engine.evaluate_video(formula, database.get("v0"), database=database)
-        assert cache.stats().invalidations == 1
+        assert cache.stats().invalidations == 0
+        assert cache.stats().list_hits == 1
 
     def test_adhoc_atomic_lists_bypass_cache(self):
         database = atomic_database()

@@ -1,0 +1,186 @@
+"""Ingester behavior: incremental maintenance ≡ rebuild, cache warmth,
+commit listeners, serving-pool refresh."""
+
+import random
+
+import pytest
+
+from repro.core.cache import EvaluationCache
+from repro.core.engine import RetrievalEngine
+from repro.errors import IngestError
+from repro.htl import parse
+from repro.ingest import Ingester, initialise
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata, make_object
+from repro.model.serialize import database_to_dict
+from repro.serve import EnginePool
+from repro.workloads.synthetic import random_similarity_list
+
+
+def make_segments(n, seed=0):
+    rng = random.Random(seed)
+    segments = []
+    for index in range(n):
+        objects = [make_object(f"o{index % 3}", "train")]
+        if rng.random() < 0.5:
+            objects.append(make_object("p1", "person", height=100))
+        segments.append(SegmentMetadata(objects=objects))
+    return segments
+
+
+def seed_database():
+    rng = random.Random(5)
+    database = VideoDatabase()
+    database.add(flat_video("seed0", make_segments(6, seed=1)))
+    database.register_atomic(
+        "P1", "seed0", random_similarity_list(6, rng=rng)
+    )
+    return database
+
+
+def test_incremental_append_equals_rebuild_from_scratch(tmp_path):
+    """The tentpole identity: appending segments through the ingester
+    produces the same documents, the same picture index, and the same
+    rankings as building the video whole."""
+    first = make_segments(5, seed=2)
+    second = make_segments(3, seed=3)
+
+    ingester = initialise(tmp_path, seed_database())
+    ingester.add_video("live0", first)
+    ingester.append_segments("live0", second)
+    ingester.commit()
+    live = ingester.database.get("live0")
+
+    oracle_db = seed_database()
+    oracle_db.add(
+        flat_video("live0", make_segments(5, seed=2) + make_segments(3, seed=3))
+    )
+    oracle = oracle_db.get("live0")
+
+    assert database_to_dict(ingester.database) == database_to_dict(oracle_db)
+    live_index = live.root.pictures_at_level(2).index
+    oracle_index = oracle.root.pictures_at_level(2).index
+    assert live_index.to_dict() == oracle_index.to_dict()
+
+    formula = parse("exists x . present(x) and type(x) = 'person'")
+    assert RetrievalEngine().evaluate_video(
+        formula, live, database=ingester.database
+    ) == RetrievalEngine().evaluate_video(formula, oracle, database=oracle_db)
+    ingester.close()
+
+
+def test_append_keeps_other_videos_cache_warm(tmp_path):
+    ingester = initialise(tmp_path, seed_database())
+    ingester.add_video("live0", make_segments(4))
+    ingester.commit()
+    cache = EvaluationCache()
+    engine = RetrievalEngine(cache=cache)
+    formula = parse("eventually $P1")
+    seed_video = ingester.database.get("seed0")
+    engine.evaluate_video(formula, seed_video, database=ingester.database)
+    # Streaming into live0 must not cost seed0 its memoized results.
+    ingester.append_segments("live0", make_segments(2, seed=9))
+    ingester.commit()
+    engine.evaluate_video(formula, seed_video, database=ingester.database)
+    assert cache.stats().invalidations == 0
+    assert cache.stats().list_hits == 1
+    ingester.close()
+
+
+def test_append_invalidates_only_the_touched_video(tmp_path):
+    rng = random.Random(13)
+    ingester = initialise(tmp_path, seed_database())
+    ingester.add_video("live0", make_segments(4))
+    ingester.add_annotations(
+        "live0", "P1", random_similarity_list(4, rng=rng)
+    )
+    ingester.commit()
+    cache = EvaluationCache()
+    engine = RetrievalEngine(cache=cache)
+    formula = parse("eventually $P1")
+    live = ingester.database.get("live0")
+    stale = engine.evaluate_video(formula, live, database=ingester.database)
+    ingester.add_annotations(
+        "live0", "P1", random_similarity_list(4, rng=rng)
+    )
+    ingester.commit()
+    fresh = engine.evaluate_video(formula, live, database=ingester.database)
+    assert cache.stats().invalidations >= 1
+    assert fresh == RetrievalEngine().evaluate_video(
+        formula, live, database=ingester.database
+    )
+    ingester.close()
+
+
+def test_commit_listeners_receive_the_batch(tmp_path):
+    batches = []
+    ingester = initialise(tmp_path, seed_database())
+    ingester.add_listener(batches.append)
+    ingester.add_video("live0", make_segments(2))
+    ingester.add_video("live1", make_segments(2))
+    ingester.commit()
+    ingester.append_segments("live0", make_segments(1, seed=4))
+    ingester.commit()
+    ingester.commit()  # empty commit: no callback payload
+    assert batches == [("live0", "live1"), ("live0",)]
+    ingester.close()
+
+
+def test_auto_commit_batches_by_record_count(tmp_path):
+    ingester = initialise(tmp_path, seed_database(), fsync=False)
+    ingester.auto_commit = 2
+    ingester.add_video("live0", make_segments(1))
+    assert ingester.pending == 1
+    ingester.append_segments("live0", make_segments(1, seed=7))
+    assert ingester.pending == 0  # batch boundary hit: fsynced
+    ingester.close()
+    with pytest.raises(IngestError):
+        Ingester(tmp_path, auto_commit=0)
+
+
+def test_pool_refresh_as_commit_listener(tmp_path):
+    ingester = initialise(tmp_path, seed_database())
+    pool = EnginePool.from_database(ingester.database, 2)
+    pool.warm()
+    ingester.add_listener(pool.refresh)
+    ingester.add_video("live0", make_segments(3))
+    ingester.commit()
+    live = ingester.database.get("live0")
+    # refresh built the new video's serving-level index eagerly...
+    assert live.root._pictures is not None
+    system = live.root.pictures_at_level(2)
+    assert len(system.segments) == 3
+    # ...and an append keeps extending the same warm system.
+    ingester.append_segments("live0", make_segments(2, seed=8))
+    ingester.commit()
+    assert len(live.root.pictures_at_level(2).segments) == 5
+    # Refreshing a named subset only touches that subset.
+    assert pool.refresh(("live0",)) == 1
+    assert pool.refresh() == len(ingester.database)
+    ingester.close()
+
+
+def test_validation_failures_never_reach_the_log(tmp_path):
+    ingester = initialise(tmp_path, seed_database())
+    before = ingester.last_sequence
+    with pytest.raises(IngestError):
+        ingester.add_video("seed0", [])  # duplicate name
+    with pytest.raises(IngestError):
+        ingester.append_segments("ghost", make_segments(1))
+    with pytest.raises(IngestError):
+        ingester.append_segments("seed0", [])
+    assert ingester.last_sequence == before
+    assert ingester.pending == 0
+    ingester.close()
+    # The log replays clean: nothing poisonous was persisted.
+    reopened = Ingester(tmp_path)
+    assert reopened.recovered.replayed == 0
+    reopened.close()
+
+
+def test_closed_ingester_refuses_mutations(tmp_path):
+    ingester = initialise(tmp_path, seed_database())
+    ingester.close()
+    with pytest.raises(IngestError, match="closed"):
+        ingester.add_video("live0", [])

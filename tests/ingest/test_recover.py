@@ -1,0 +1,239 @@
+"""Recovery unit tests: tails, corruption, watermarks, delta chains.
+
+The chaos sweep (test_ingest_chaos.py) proves the invariant under
+arbitrary crash points; these tests pin the individual mechanisms —
+quarantine-never-delete, watermark skipping, orphan tolerance — with
+hand-placed damage.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core import resilience
+from repro.errors import (
+    IngestError,
+    InjectedFaultError,
+    WALCorruptionError,
+)
+from repro.ingest import (
+    Compactor,
+    IngestLayout,
+    Ingester,
+    initialise,
+    read_manifest,
+    recover,
+)
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata, make_object
+from repro.model.serialize import database_to_dict
+from repro.testing.faults import CORRUPT, RAISE, FaultSpec, inject
+from repro.workloads.synthetic import random_similarity_list
+
+
+def seed_database(n_segments=4, seed=3):
+    rng = random.Random(seed)
+    database = VideoDatabase()
+    segments = [
+        SegmentMetadata(objects=[make_object(f"o{i}", "train")])
+        for i in range(n_segments)
+    ]
+    video = database.add(flat_video("seed0", segments))
+    database.register_atomic(
+        "P1", video.name, random_similarity_list(n_segments, rng=rng)
+    )
+    return database
+
+
+def recovered_dict(root, **kwargs):
+    state = recover(root, **kwargs)
+    state.wal.close()
+    return database_to_dict(state.database), state
+
+
+def crash(ingester):
+    """Abandon an ingester as a crash would: drop the handle, commit
+    nothing (``close()`` would flush-and-commit, which a crash never
+    does)."""
+    ingester._wal.close()
+    ingester._closed = True
+
+
+def test_recovery_is_idempotent_after_torn_tail(tmp_path):
+    ingester = initialise(tmp_path, seed_database())
+    ingester.add_video("live0", [SegmentMetadata()])
+    ingester.commit()
+    # Appended, never committed: a torn tail by definition.
+    ingester.append_segments("live0", [SegmentMetadata()])
+    crash(ingester)
+
+    first, state = recovered_dict(tmp_path)
+    assert state.replayed == 1 and state.dirty == ("live0",)
+    assert len(state.quarantined) == 1
+    assert os.path.exists(state.quarantined[0])
+    assert len(state.database.get("live0").nodes_at_level(2)) == 1
+
+    second, again = recovered_dict(tmp_path)
+    assert second == first
+    assert again.quarantined == ()  # nothing left to truncate
+
+
+def test_corruption_inside_committed_prefix_is_typed_and_quarantined(
+    tmp_path,
+):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata(), SegmentMetadata()])
+        ingester.commit()
+    layout = IngestLayout(tmp_path)
+    with open(layout.wal_log_path, "r+b") as handle:
+        data = handle.read()
+        position = len(data) // 2
+        handle.seek(position)
+        handle.write(bytes([data[position] ^ 0x40]))
+    with pytest.raises(WALCorruptionError) as caught:
+        recover(tmp_path)
+    assert caught.value.quarantined
+    for path in caught.value.quarantined:
+        assert os.path.exists(path)
+    # Never deleted: the damaged log is still there, byte for byte.
+    assert os.path.getsize(layout.wal_log_path) == len(data)
+
+
+def test_replay_skips_records_below_the_delta_watermark(tmp_path):
+    """Crash between manifest commit and WAL reset: replay must not
+    double-apply the folded records."""
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        ingester.append_segments("live0", [SegmentMetadata()])
+        ingester.commit()
+        # A checkpoint whose WAL reset never happened: call the
+        # compactor directly, leaving the log full.
+        compactor = Compactor(ingester.layout)
+        info = compactor.checkpoint(
+            ingester.database,
+            dirty=ingester.dirty,
+            wal_through=ingester._wal.last_committed_sequence,
+        )
+        assert info is not None and info.wal_through == 2
+
+    document, state = recovered_dict(tmp_path)
+    assert state.skipped == 2 and state.replayed == 0
+    assert state.deltas == (info.delta,)
+    assert state.dirty == ()
+    assert len(state.database.get("live0").nodes_at_level(2)) == 2
+
+    # And the next real checkpoint path (Ingester open) converges too.
+    with Ingester(tmp_path) as ingester:
+        assert database_to_dict(ingester.database) == document
+
+
+def test_orphan_delta_files_are_ignored(tmp_path):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        ingester.checkpoint()
+    layout = IngestLayout(tmp_path)
+    orphan = os.path.join(layout.deltas_dir, "delta-000099.json")
+    with open(orphan, "w", encoding="utf-8") as handle:
+        handle.write("{not even json")
+    document, state = recovered_dict(tmp_path)
+    assert state.deltas == ("delta-000001.json",)
+    assert Compactor(layout).orphans() == ["delta-000099.json"]
+    # Orphans must not disturb numbering monotonicity either.
+    with Ingester(tmp_path) as ingester:
+        ingester.append_segments("live0", [SegmentMetadata()])
+        info = ingester.checkpoint()
+    assert info.delta == "delta-000100.json"
+
+
+def test_damaged_delta_is_quarantined_never_deleted(tmp_path):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        info = ingester.checkpoint()
+    layout = IngestLayout(tmp_path)
+    delta_path = os.path.join(layout.deltas_dir, info.delta)
+    with open(delta_path, "r+b") as handle:
+        handle.seek(10)
+        handle.write(b"\xff")
+    with pytest.raises(IngestError, match="digest"):
+        recover(tmp_path)
+    assert os.path.exists(delta_path)  # original intact
+    quarantined = os.listdir(layout.quarantine_dir)
+    assert any(info.delta in name for name in quarantined)
+    # Unverified load still refuses junk structurally, but a digest-only
+    # flip inside a valid JSON string may pass: only assert the verified
+    # path here.
+
+
+def test_manifest_naming_a_missing_delta_is_typed(tmp_path):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        info = ingester.checkpoint()
+    layout = IngestLayout(tmp_path)
+    os.rename(
+        os.path.join(layout.deltas_dir, info.delta),
+        os.path.join(layout.deltas_dir, "stolen.bin"),
+    )
+    with pytest.raises(IngestError, match="unreadable"):
+        recover(tmp_path)
+
+
+def test_unparseable_manifest_is_typed(tmp_path):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        ingester.checkpoint()
+    layout = IngestLayout(tmp_path)
+    with open(layout.deltas_manifest_path, "w", encoding="utf-8") as handle:
+        handle.write("]]junk")
+    with pytest.raises(IngestError, match="unreadable"):
+        read_manifest(layout)
+
+
+def test_crash_during_replay_converges_on_rerun(tmp_path):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        ingester.append_segments("live0", [SegmentMetadata()])
+        ingester.commit()
+    with inject(
+        FaultSpec(resilience.SITE_WAL_REPLAY, mode=RAISE, max_faults=1, skip=2)
+    ):
+        with pytest.raises(InjectedFaultError):
+            recover(tmp_path)
+    document, state = recovered_dict(tmp_path)
+    assert state.replayed == 2
+    assert len(state.database.get("live0").nodes_at_level(2)) == 2
+
+
+@pytest.mark.parametrize("seed", [11, 1997, 20260806])
+def test_rotted_committed_bytes_surface_as_corruption(tmp_path, seed):
+    with initialise(tmp_path / str(seed), seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        ingester.commit()
+    with inject(
+        FaultSpec(resilience.SITE_WAL_REPLAY, mode=CORRUPT, max_faults=1),
+        seed=seed,
+    ):
+        with pytest.raises(WALCorruptionError) as caught:
+            recover(tmp_path / str(seed))
+    for path in caught.value.quarantined:
+        assert os.path.exists(path)
+
+
+def test_initialise_refuses_an_existing_directory(tmp_path):
+    with initialise(tmp_path, seed_database()):
+        pass
+    with pytest.raises(IngestError, match="already holds"):
+        initialise(tmp_path, seed_database())
+
+
+def test_commit_marker_junk_is_typed(tmp_path):
+    with initialise(tmp_path, seed_database()) as ingester:
+        ingester.add_video("live0", [SegmentMetadata()])
+        ingester.commit()
+    layout = IngestLayout(tmp_path)
+    with open(layout.wal_commit_path, "w", encoding="utf-8") as handle:
+        json.dump({"format": 1}, handle)  # missing required fields
+    with pytest.raises(IngestError, match="unreadable"):
+        recover(tmp_path)

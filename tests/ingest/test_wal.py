@@ -1,0 +1,220 @@
+"""WAL unit + property tests: framing, commit point, poisoning.
+
+The property pair is the satellite spec's: encode/decode is an exact
+round trip for *arbitrary* operations, and any single-byte change
+anywhere in a frame is caught by the magic/length/CRC gauntlet — never
+decoded into a different record.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import resilience
+from repro.core.simlist import SimilarityList
+from repro.errors import (
+    IngestError,
+    InjectedFaultError,
+    WALCorruptionError,
+)
+from repro.ingest import decode_op, encode_op
+from repro.ingest.ops import AddAnnotations, AddVideo, AppendSegments
+from repro.ingest.wal import (
+    HEADER_SIZE,
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+)
+from repro.testing.faults import RAISE, FaultSpec, inject
+
+from tests.integration.strategies import segment_metadata
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def similarity_lists(draw):
+    maximum = draw(st.sampled_from([1.0, 10.0, 100.0]))
+    n = draw(st.integers(0, 4))
+    entries = []
+    cursor = 1
+    for __ in range(n):
+        begin = cursor + draw(st.integers(0, 2))
+        end = begin + draw(st.integers(0, 2))
+        entries.append(
+            ((begin, end), draw(st.floats(0.0, maximum, width=16)))
+        )
+        cursor = end + 1
+    return SimilarityList.from_entries(entries, maximum)
+
+
+@st.composite
+def ingest_ops(draw):
+    kind = draw(st.sampled_from(["add", "append", "annotate"]))
+    name = draw(st.sampled_from(["v0", "news-1", "clip_2"]))
+    if kind == "add":
+        segments = tuple(
+            draw(segment_metadata()) for __ in range(draw(st.integers(0, 3)))
+        )
+        return AddVideo(
+            name=name,
+            segments=segments,
+            child_level_name=draw(st.sampled_from(["shot", "scene"])),
+        )
+    if kind == "append":
+        segments = tuple(
+            draw(segment_metadata()) for __ in range(draw(st.integers(1, 3)))
+        )
+        return AppendSegments(video=name, segments=segments)
+    return AddAnnotations(
+        video=name,
+        predicate=draw(st.sampled_from(["P1", "Battle"])),
+        sim=draw(similarity_lists()),
+        level=draw(st.integers(1, 3)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# framing properties
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(op=ingest_ops(), sequence=st.integers(1, 2**31))
+def test_record_round_trip_is_identity(op, sequence):
+    """encode → decode reproduces the sequence and the exact op."""
+    frame = encode_record(sequence, op)
+    decoded_sequence, document = decode_record(frame)
+    assert decoded_sequence == sequence
+    assert document == encode_op(op)
+    # Decoding then re-encoding is a fixed point: nothing is lost or
+    # renormalised (SegmentMetadata defines no __eq__, so the document
+    # is the canonical identity).
+    assert encode_op(decode_op(document)) == document
+    assert type(decode_op(document)) is type(op)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    op=ingest_ops(),
+    position=st.integers(0, 10_000),
+    flip=st.integers(1, 255),
+)
+def test_any_single_byte_flip_is_caught(op, position, flip):
+    """A one-byte change anywhere in the frame never decodes silently."""
+    frame = encode_record(7, op)
+    position %= len(frame)
+    damaged = (
+        frame[:position]
+        + bytes([frame[position] ^ flip])
+        + frame[position + 1 :]
+    )
+    assert damaged != frame
+    with pytest.raises(WALCorruptionError):
+        decode_record(damaged)
+
+
+def test_truncated_frame_is_caught():
+    frame = encode_record(1, AddVideo(name="v"))
+    for cut in (0, 1, HEADER_SIZE - 1, HEADER_SIZE, len(frame) - 1):
+        with pytest.raises(WALCorruptionError):
+            decode_record(frame[:cut])
+
+
+# ---------------------------------------------------------------------------
+# the log itself
+# ---------------------------------------------------------------------------
+def test_append_is_visible_only_after_commit(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        assert wal.uncommitted_records == 1
+        assert list(wal.committed()) == []
+        wal.commit()
+        assert wal.uncommitted_records == 0
+        records = list(wal.committed())
+    assert [sequence for sequence, __ in records] == [1]
+    assert decode_op(records[0][1]) == AddVideo(name="a")
+
+
+def test_sequences_survive_reopen_and_reset(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        wal.append(AddVideo(name="b"))
+        wal.commit()
+    with WriteAheadLog(tmp_path) as wal:
+        assert wal.next_sequence == 3
+        assert wal.committed_records == 2
+        wal.reset()
+        assert wal.committed_records == 0
+        # Sequences are global: a reset must never recycle them.
+        assert wal.next_sequence == 3
+        assert wal.append(AddVideo(name="c")) == 3
+
+
+def test_reset_refuses_uncommitted_records(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        with pytest.raises(IngestError, match="uncommitted"):
+            wal.reset()
+
+
+def test_uncommitted_tail_is_not_replayed_after_reopen(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        wal.commit()
+        wal.append(AddVideo(name="b"))  # never committed
+    wal = WriteAheadLog(tmp_path)
+    assert [s for s, __ in wal.committed()] == [1]
+    assert os.path.getsize(wal.layout.wal_log_path) > wal.committed_offset
+    path = wal.truncate_tail()
+    assert path is not None and os.path.exists(path)
+    assert os.path.getsize(wal.layout.wal_log_path) == wal.committed_offset
+    assert wal.truncate_tail() is None  # idempotent
+    wal.close()
+
+
+def test_failed_append_poisons_the_log(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        wal.commit()
+        with inject(
+            FaultSpec(resilience.SITE_WAL_APPEND, mode=RAISE, max_faults=1)
+        ):
+            with pytest.raises(InjectedFaultError):
+                wal.append(AddVideo(name="b"))
+        with pytest.raises(IngestError, match="recovered"):
+            wal.append(AddVideo(name="c"))
+        with pytest.raises(IngestError, match="recovered"):
+            wal.commit()
+
+
+def test_failed_fsync_poisons_and_keeps_old_commit_point(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        wal.commit()
+        committed = wal.committed_offset
+        wal.append(AddVideo(name="b"))
+        with inject(
+            FaultSpec(resilience.SITE_WAL_FSYNC, mode=RAISE, max_faults=1)
+        ):
+            with pytest.raises(InjectedFaultError):
+                wal.commit()
+    reopened = WriteAheadLog(tmp_path)
+    assert reopened.committed_offset == committed
+    assert [s for s, __ in reopened.committed()] == [1]
+    reopened.close()
+
+
+def test_marker_past_log_end_is_corruption(tmp_path):
+    with WriteAheadLog(tmp_path) as wal:
+        wal.append(AddVideo(name="a"))
+        wal.commit()
+    with open(tmp_path / "wal.log", "r+b") as handle:
+        handle.truncate(4)  # committed bytes vanish
+    wal = WriteAheadLog(tmp_path)
+    with pytest.raises(WALCorruptionError, match="committed"):
+        wal.truncate_tail()
+    with pytest.raises(WALCorruptionError):
+        list(wal.committed())
+    wal.close()

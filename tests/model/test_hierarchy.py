@@ -116,6 +116,65 @@ class TestFlatVideo:
         assert video.n_levels == 1
 
 
+class TestAppendSegments:
+    def test_append_extends_in_place(self):
+        video = flat_video("v", [SegmentMetadata() for __ in range(3)])
+        added = video.append_segments([SegmentMetadata(), SegmentMetadata()])
+        assert len(added) == 2
+        leaves = video.nodes_at_level(2)
+        assert len(leaves) == 5
+        assert [node.index for node in leaves] == [1, 2, 3, 4, 5]
+        assert all(node.parent is video.root for node in added)
+
+    def test_append_to_empty_video_creates_the_leaf_level(self):
+        video = flat_video("v", [])
+        assert video.n_levels == 1
+        video.append_segments([SegmentMetadata()])
+        assert video.n_levels == 2
+        assert video.level_of("shot") == 2
+        assert len(video.nodes_at_level(2)) == 1
+
+    def test_append_nothing_is_a_no_op(self):
+        video = flat_video("v", [SegmentMetadata()])
+        system = video.root.pictures_at_level(2)
+        assert video.append_segments([]) == []
+        assert video.root.pictures_at_level(2) is system
+
+    def test_append_keeps_installed_picture_systems_warm(self):
+        video = flat_video(
+            "v", [SegmentMetadata(objects=[make_object("a", "train")])]
+        )
+        level_one = video.root.pictures_at_level(1)
+        level_two = video.root.pictures_at_level(2)
+        video.append_segments(
+            [SegmentMetadata(objects=[make_object("b", "person")])]
+        )
+        # Same system objects, extended — not rebuilt from scratch.
+        assert video.root.pictures_at_level(1) is level_one
+        assert video.root.pictures_at_level(2) is level_two
+        assert len(level_two.segments) == 2
+        assert level_two.index.n_segments == 2
+
+    def test_appended_index_equals_rebuilt(self):
+        segments = [
+            SegmentMetadata(objects=[make_object(f"o{i}", "train")])
+            for i in range(4)
+        ]
+        grown = flat_video("v", segments[:2])
+        grown.root.pictures_at_level(2)  # install before appending
+        grown.append_segments(segments[2:])
+        whole = flat_video("v", segments)
+        assert (
+            grown.root.pictures_at_level(2).index.to_dict()
+            == whole.root.pictures_at_level(2).index.to_dict()
+        )
+
+    def test_deep_video_refuses_append(self):
+        video = three_level_video()
+        with pytest.raises(HierarchyError, match="flat"):
+            video.append_segments([SegmentMetadata()])
+
+
 class TestStandardLevelNames:
     def test_five_levels(self):
         names = standard_level_names(5)

@@ -525,6 +525,110 @@ class TestServe:
         assert exit_code_for(errors.ServeRejected("x")) == 29
 
 
+class TestIngest:
+    def write_ops_file(self, tmp_path):
+        import json
+
+        from repro.ingest import AddAnnotations, AddVideo, encode_op
+        from repro.model.metadata import SegmentMetadata, make_object
+        from repro.workloads.synthetic import random_similarity_list
+
+        import random
+
+        segments = [
+            SegmentMetadata(objects=[make_object("o1", "person")])
+            for __ in range(3)
+        ]
+        operations = [
+            AddVideo(name="live0", segments=tuple(segments)),
+            AddAnnotations(
+                video="live0",
+                predicate="P9",
+                sim=random_similarity_list(3, rng=random.Random(5)),
+            ),
+        ]
+        ops_file = tmp_path / "ops.json"
+        ops_file.write_text(json.dumps([encode_op(op) for op in operations]))
+        return str(ops_file)
+
+    def test_init_append_checkpoint_recover_workflow(self, capsys, tmp_path):
+        root = str(tmp_path / "ingest")
+        code, out, __ = run_cli(
+            capsys, "ingest", "init", "--dir", root, "--dataset", "western"
+        )
+        assert code == 0
+        assert "initialised ingest directory" in out
+
+        ops_file = self.write_ops_file(tmp_path)
+        code, out, __ = run_cli(
+            capsys, "ingest", "append", "--dir", root, "--ops", ops_file
+        )
+        assert code == 0
+        assert "appended 2 record(s) (sequences 1..2)" in out
+        assert "live0" in out
+
+        code, out, __ = run_cli(capsys, "ingest", "checkpoint", "--dir", root)
+        assert code == 0
+        assert "checkpointed (incremental) delta-000001" in out
+
+        code, out, __ = run_cli(capsys, "ingest", "recover", "--dir", root)
+        assert code == 0
+        assert "0 WAL record(s) replayed" in out
+        assert "1 delta(s)" in out
+
+    def test_append_survives_recovery_without_checkpoint(
+        self, capsys, tmp_path
+    ):
+        root = str(tmp_path / "ingest")
+        run_cli(capsys, "ingest", "init", "--dir", root)
+        ops_file = self.write_ops_file(tmp_path)
+        run_cli(capsys, "ingest", "append", "--dir", root, "--ops", ops_file)
+        code, out, __ = run_cli(capsys, "ingest", "recover", "--dir", root)
+        assert code == 0
+        assert "2 WAL record(s) replayed" in out
+        assert "1 video(s)" in out
+
+    def test_init_refuses_existing_directory(self, capsys, tmp_path):
+        root = str(tmp_path / "ingest")
+        run_cli(capsys, "ingest", "init", "--dir", root)
+        code, __, err = run_cli(capsys, "ingest", "init", "--dir", root)
+        assert code == EXIT_CODES[errors.IngestError] == 30
+        assert "already holds" in err
+
+    def test_corrupt_wal_maps_to_corruption_exit_code(self, capsys, tmp_path):
+        import os
+
+        root = str(tmp_path / "ingest")
+        run_cli(capsys, "ingest", "init", "--dir", root)
+        ops_file = self.write_ops_file(tmp_path)
+        run_cli(capsys, "ingest", "append", "--dir", root, "--ops", ops_file)
+        wal_path = os.path.join(root, "wal.log")
+        blob = bytearray(open(wal_path, "rb").read())
+        blob[len(blob) // 2] ^= 0xFF
+        with open(wal_path, "wb") as handle:
+            handle.write(blob)
+        code, __, err = run_cli(capsys, "ingest", "recover", "--dir", root)
+        assert code == EXIT_CODES[errors.WALCorruptionError] == 31
+        assert "error:" in err
+
+    def test_bad_ops_file_is_a_typed_error(self, capsys, tmp_path):
+        root = str(tmp_path / "ingest")
+        run_cli(capsys, "ingest", "init", "--dir", root)
+        junk = tmp_path / "junk.json"
+        junk.write_text("{not json")
+        code, __, err = run_cli(
+            capsys, "ingest", "append", "--dir", root, "--ops", str(junk)
+        )
+        assert code == EXIT_CODES[errors.IngestError]
+        assert "not JSON" in err
+
+    def test_ingest_exit_codes_are_distinct(self):
+        codes = list(EXIT_CODES.values())
+        assert len(set(codes)) == len(codes)
+        assert exit_code_for(errors.IngestError("x")) == 30
+        assert exit_code_for(errors.WALCorruptionError("x")) == 31
+
+
 class TestSigint:
     def test_interrupt_mid_serve_drains_and_exits_130(
         self, capsys, monkeypatch

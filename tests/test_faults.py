@@ -32,6 +32,7 @@ from repro.testing.faults import (
     CORRUPT,
     DELAY,
     RAISE,
+    SHORT_WRITE,
     FaultInjector,
     FaultSpec,
     corrupt_similarity_list,
@@ -242,6 +243,58 @@ class TestCorruptor:
         assert isinstance(damaged, bytes) and damaged != clean
         # The cap is spent: later reads pass through untouched.
         assert injector.corrupt(resilience.SITE_STORE_READ, clean) == clean
+
+
+class TestShortWrite:
+    """The torn-write mode: a strict prefix, deterministically drawn."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_prefix_is_strict_and_deterministic(self, seed):
+        data = bytes(range(64))
+
+        def draw():
+            injector = FaultInjector(
+                [
+                    FaultSpec(
+                        resilience.SITE_WAL_APPEND,
+                        mode=SHORT_WRITE,
+                        max_faults=1,
+                    )
+                ],
+                seed=seed,
+            )
+            return injector.shorten(resilience.SITE_WAL_APPEND, data)
+
+        cut = draw()
+        assert cut is not None and len(cut) < len(data)
+        assert data.startswith(cut)
+        assert cut == draw()  # same seed, same tear
+
+    def test_cap_and_mode_filtering(self):
+        data = b"framed record bytes"
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    resilience.SITE_WAL_APPEND,
+                    mode=SHORT_WRITE,
+                    max_faults=1,
+                )
+            ],
+            seed=3,
+        )
+        # A raise/delay visit never consumes a short-write spec.
+        injector.trip(resilience.SITE_WAL_APPEND)
+        assert injector.shorten(resilience.SITE_WAL_APPEND, data) is not None
+        # Cap spent: subsequent writes go through whole.
+        assert injector.shorten(resilience.SITE_WAL_APPEND, data) is None
+        # Empty payloads cannot be torn.
+        assert injector.shorten(resilience.SITE_WAL_APPEND, b"") is None
+
+    def test_production_hook_returns_none_without_injector(self):
+        assert (
+            resilience.fault_short_write(resilience.SITE_WAL_APPEND, b"abc")
+            is None
+        )
 
 
 class TestChaosProperty:

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.store",
     "repro.shard",
     "repro.serve",
+    "repro.ingest",
 ]
 
 
