@@ -147,6 +147,7 @@ def test_atom_table_construction(report):
                 "segments_scored": stats.segments_scored,
                 "fingerprint_hits": stats.fingerprint_hits,
                 "candidate_segments": stats.candidate_segments,
+                "dense_bindings": stats.dense_bindings,
                 "tables_identical": True,
             }
         )
@@ -175,6 +176,22 @@ def test_atom_table_construction(report):
             f"index-driven path only {row['speedup']:.1f}x faster at "
             f"{row['n_segments']} segments / {row['density']:.0%} density "
             f"(required {REQUIRED_SPEEDUP}x)"
+        )
+
+    # Dense-regime gate: near-universal postings trip the density cutoff
+    # (the support analysis demotes them to a direct sweep), so the
+    # indexed path must never regress below the naive scan.
+    dense = [row for row in results if row["density"] >= 0.50]
+    assert dense, "no dense configuration measured"
+    for row in dense:
+        assert row["dense_bindings"] > 0, (
+            f"density cutoff never engaged at {row['n_segments']} "
+            f"segments / {row['density']:.0%} density"
+        )
+        assert row["speedup"] >= 1.0, (
+            f"dense regime regressed below naive: "
+            f"{row['speedup']:.2f}x at {row['n_segments']} segments / "
+            f"{row['density']:.0%} density"
         )
 
     payload = {

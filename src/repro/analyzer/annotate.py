@@ -16,12 +16,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analyzer.cutdetect import CutDetectorConfig, Shot, detect_cuts
 from repro.analyzer.features import FrameStream
+from repro.core import instrument, resilience
+from repro.errors import ReproError
 from repro.model.hierarchy import Video, flat_video
 from repro.model.metadata import (
     ObjectInstance,
     Relationship,
     SegmentMetadata,
 )
+from repro.pictures.signature import average_histograms
 
 #: An annotation rule: shot label → metadata fragments for that shot.
 @dataclass
@@ -65,13 +68,37 @@ class VideoAnalyzer:
                 best_label = label
         return best_label
 
+    def signature_of(self, stream: FrameStream, shot: Shot) -> tuple:
+        """The shot's content signature: its mass-normalised mean histogram.
+
+        This is the ``signature-build`` fault site; callers that can
+        degrade (``annotate``) catch the typed errors, direct callers see
+        them.
+        """
+        resilience.fault(resilience.SITE_SIGNATURE_BUILD)
+        return average_histograms(
+            [
+                frame.histogram
+                for frame in stream.frames[shot.first : shot.last + 1]
+            ]
+        )
+
     def annotate(
         self,
         stream: FrameStream,
         name: str,
         root_attributes: Optional[Dict[str, object]] = None,
     ) -> Video:
-        """Produce the annotated two-level video for a stream."""
+        """Produce the annotated two-level video for a stream.
+
+        Each shot carries its content signature (DESIGN.md §16) next to
+        the rule-driven annotation metadata.  A failing signature build —
+        a degenerate shot, or an injected ``signature-build`` fault —
+        degrades that shot to annotation-only metadata (``signature=None``)
+        and bumps the :data:`~repro.core.instrument.SIGNATURE_DEGRADED`
+        counter rather than aborting the analysis: annotation retrieval
+        must survive a broken feature extractor.
+        """
         shots = self.segment(stream)
         segments: List[SegmentMetadata] = []
         for number, shot in enumerate(shots, start=1):
@@ -85,6 +112,12 @@ class VideoAnalyzer:
             if label:
                 attributes["label"] = label
             attributes.update(rule.attributes)
+            signature: Optional[tuple]
+            try:
+                signature = self.signature_of(stream, shot)
+            except ReproError:
+                instrument.count(instrument.SIGNATURE_DEGRADED)
+                signature = None
             segments.append(
                 SegmentMetadata(
                     attributes=attributes,
@@ -98,6 +131,7 @@ class VideoAnalyzer:
                         for instance in rule.objects
                     ],
                     relationships=list(rule.relationships),
+                    signature=signature,
                 )
             )
         root_metadata = SegmentMetadata(attributes=root_attributes or {})

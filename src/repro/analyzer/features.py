@@ -10,6 +10,7 @@ the structure histogram-difference cut detectors rely on.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
@@ -33,6 +34,24 @@ class Frame:
                 f"frames carry {N_BINS}-bin histograms, got "
                 f"{len(self.histogram)}"
             )
+        for position, bin_value in enumerate(self.histogram):
+            if not isinstance(bin_value, (int, float)) or isinstance(
+                bin_value, bool
+            ):
+                raise WorkloadError(
+                    f"histogram bin {position} must be a number, got "
+                    f"{bin_value!r}"
+                )
+            if not math.isfinite(bin_value):
+                raise WorkloadError(
+                    f"histogram bin {position} must be finite, got "
+                    f"{bin_value!r}"
+                )
+            if bin_value < 0:
+                raise WorkloadError(
+                    f"histogram bin {position} must be non-negative, got "
+                    f"{bin_value!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -58,6 +77,10 @@ class FrameStream:
 def _signature(rng: random.Random) -> List[float]:
     weights = [rng.random() ** 2 for __ in range(N_BINS)]
     total = sum(weights)
+    if total <= 0.0:
+        raise WorkloadError(
+            "degenerate shot signature: weight vector sums to zero"
+        )
     return [weight / total for weight in weights]
 
 
@@ -101,7 +124,21 @@ def synthesize_stream(
 
 def histogram_difference(first: Frame, second: Frame) -> float:
     """L1 distance between histograms, in ``[0, 2]`` — the classic
-    cut-detection dissimilarity."""
+    cut-detection dissimilarity.
+
+    Both histograms must carry nonzero total weight: a zero-total
+    histogram is not a colour distribution, and comparing against one
+    yields a score that is NaN-free but meaningless (two blank frames
+    would look "identical" to any query).  Such frames are rejected with
+    a typed :class:`~repro.errors.WorkloadError` at the comparison site
+    rather than silently scored.
+    """
+    for which, frame in (("first", first), ("second", second)):
+        if sum(frame.histogram) <= 0.0:
+            raise WorkloadError(
+                f"{which} frame has a zero-total histogram; "
+                "cannot compute a histogram difference"
+            )
     return sum(
         abs(a - b) for a, b in zip(first.histogram, second.histogram)
     )

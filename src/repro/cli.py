@@ -38,6 +38,7 @@ from repro.errors import (
     ServeError,
     ServeRejected,
     ShardError,
+    SignatureError,
     SimilarityListInvariantError,
     SQLCatalogError,
     SQLError,
@@ -56,6 +57,7 @@ from repro.htl import parse, paper_class, pretty, skeleton_class
 from repro.model.database import VideoDatabase
 from repro.sqlbaseline.system import SQLRetrievalSystem
 from repro.workloads.casablanca import casablanca_database
+from repro.workloads.clips import clips_database
 from repro.workloads.movies import example_database
 from repro.workloads.synthetic import perf_workload
 
@@ -63,6 +65,7 @@ _DATASETS = {
     "casablanca": ("making-of-casablanca", casablanca_database),
     "western": ("western", example_database),
     "gulf-war": ("gulf-war", example_database),
+    "clips": ("clips", clips_database),
 }
 
 #: Exit code for each error family — distinct, non-zero, and stable, so
@@ -100,6 +103,7 @@ EXIT_CODES = {
     ServeRejected: 29,
     IngestError: 30,
     WALCorruptionError: 31,
+    SignatureError: 32,
 }
 
 #: The conventional 128+SIGINT code: an interrupted run that drained
@@ -273,6 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="query a sharded store layout written by 'shard split' "
         "instead of a built-in dataset (with --across)",
+    )
+    run.add_argument(
+        "--by-example",
+        dest="by_example",
+        action="append",
+        default=None,
+        metavar="[NAME=]VIDEO:FIRST-LAST",
+        help="define a query clip from stored segments: the content "
+        "signatures of segments FIRST..LAST (1-based, at the query "
+        "level) of VIDEO become the windows the query's "
+        "looks_like(NAME, theta) atoms score against (NAME defaults "
+        "to 'example'; repeatable)",
     )
     run.add_argument(
         "--deadline-ms",
@@ -714,6 +730,55 @@ def _print_across(arguments: argparse.Namespace, results) -> int:
     return 0
 
 
+def _example_clips(
+    specs: List[str], database: VideoDatabase, level_argument: Optional[str]
+) -> Dict[str, tuple]:
+    """Named query clips from ``[NAME=]VIDEO:FIRST-LAST`` specs.
+
+    Each spec slices the named video's segments (1-based, inclusive, at
+    the query level) and takes their content signatures as the clip's
+    windows.  Malformed specs, unknown videos, out-of-range slices, and
+    signature-less segments all raise a typed
+    :class:`~repro.errors.SignatureError` (exit code 32).
+    """
+    from repro.pictures.signature import clip_from_segments
+
+    clips: Dict[str, tuple] = {}
+    for spec in specs:
+        head, equals, rest = spec.partition("=")
+        name, body = (head, rest) if equals else ("example", spec)
+        video_name, colon, span = body.partition(":")
+        first_text, dash, last_text = span.partition("-")
+        try:
+            first = int(first_text)
+            last = int(last_text) if dash else first
+        except ValueError:
+            first = last = 0
+        if not colon or not video_name or not name or first < 1:
+            raise SignatureError(
+                f"malformed --by-example {spec!r}; expected "
+                "[NAME=]VIDEO:FIRST-LAST with 1-based segment numbers"
+            )
+        if video_name not in database:
+            raise SignatureError(
+                f"--by-example {spec!r} names unknown video "
+                f"{video_name!r}; dataset has: "
+                + ", ".join(sorted(database.names()))
+            )
+        video = database.get(video_name)
+        level = _resolve_level(video, level_argument)
+        nodes = video.nodes_at_level(level)
+        if last < first or last > len(nodes):
+            raise SignatureError(
+                f"--by-example {spec!r} selects segments {first}-{last}; "
+                f"{video_name!r} has {len(nodes)} at level {level}"
+            )
+        clips[name] = clip_from_segments(
+            [node.metadata for node in nodes[first - 1 : last]]
+        )
+    return clips
+
+
 def cmd_run(arguments: argparse.Namespace) -> int:
     formula = parse(arguments.query)
     engine = RetrievalEngine(
@@ -735,6 +800,18 @@ def cmd_run(arguments: argparse.Namespace) -> int:
     database: VideoDatabase = loader()
     video = database.get(video_name)
     level = _resolve_level(video, arguments.level)
+    from repro.pictures.signature import resolve_clips, unresolved_clip_names
+
+    if arguments.by_example or unresolved_clip_names(formula):
+        # Inline the example segments' signatures into the query's
+        # looks_like atoms; a clip reference with no --by-example
+        # definition raises a SignatureError naming the known clips.
+        formula = resolve_clips(
+            formula,
+            _example_clips(
+                arguments.by_example or [], database, arguments.level
+            ),
+        )
     if arguments.shards is not None:
         from repro.shard import ShardedCorpus
 
@@ -1197,6 +1274,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--lenient requires --across")
         if arguments.shards is not None and arguments.shard_dir is not None:
             parser.error("--shards and --shard-dir are mutually exclusive")
+        if arguments.by_example and arguments.shard_dir is not None:
+            parser.error(
+                "--by-example requires a built-in dataset (not --shard-dir)"
+            )
         if (
             arguments.shards is not None or arguments.shard_dir is not None
         ) and not arguments.across:

@@ -137,6 +137,11 @@ WAL_RECORD_QUARANTINED = "wal-record-quarantined"
 INGEST_CHECKPOINT = "ingest-checkpoint"
 INDEX_APPENDED = "index-appended"
 
+#: Canonical event-counter name of the analyzer's signature stage
+#: (DESIGN.md §16): a shot whose content-signature build failed and was
+#: annotated signature-less (annotation-only metadata) instead.
+SIGNATURE_DEGRADED = "signature-degraded"
+
 #: Canonical latency-histogram names of the top-k layer (seconds).
 QUERY_LATENCY = "query-seconds"
 VIDEO_LATENCY = "video-seconds"

@@ -201,6 +201,7 @@ class Statistics:
             raw["n_profiles"],
             pools["universe"],
             pools["any_object_segments"],
+            pools.get("signature_segments", 0),
             families,
         )
         return cls(
@@ -303,7 +304,13 @@ class NodeEstimate:
 
 @dataclass(frozen=True)
 class AtomChoice:
-    """The strategy decision for one picture atom."""
+    """The strategy decision for one picture atom.
+
+    ``match_rate`` is the sampled fraction of stored signatures that
+    clear the atom's ``looks_like`` thresholds (DESIGN.md §16) — the
+    signature-atom selectivity statistic; ``None`` for atoms without
+    signature predicates.
+    """
 
     description: str
     strategy: str
@@ -312,6 +319,7 @@ class AtomChoice:
     indexed_cost: float
     naive_cost: float
     selectivity: float
+    match_rate: Optional[float] = None
 
 
 class QueryPlan:
@@ -418,6 +426,8 @@ class QueryPlan:
                 f"(indexed {choice.indexed_cost:.1f} vs "
                 f"naive {choice.naive_cost:.1f})"
             )
+            if choice.match_rate is not None:
+                notes.append(f"signature match rate {choice.match_rate:.2f}")
         if isinstance(formula, (ast.And, ast.Until)):
             notes.append(
                 "evaluate right first"
@@ -458,6 +468,8 @@ class QueryPlan:
             doc["candidates"] = choice.candidates
             doc["indexed_cost"] = choice.indexed_cost
             doc["naive_cost"] = choice.naive_cost
+            if choice.match_rate is not None:
+                doc["signature_match_rate"] = choice.match_rate
         if isinstance(formula, (ast.And, ast.Until)):
             doc["order"] = (
                 "right-first" if key in self.swapped else "left-first"
@@ -749,17 +761,24 @@ class _PlanBuilder:
         representative = self._representative_binding(object_vars, typed_pool)
         candidates = self._probe_candidates(atom, representative)
         dedup = self.stats.dedup_factor
+        match_rate = self._signature_match_rate(atom)
+        score_cost = model.score_cost
+        if match_rate is not None:
+            # The L1-bound short-circuit skips the SSIM pass on windows
+            # that cannot clear θ, roughly halving the per-segment score
+            # work for non-matching signatures (DESIGN.md §16).
+            score_cost *= 0.5 + 0.5 * match_rate
         if candidates is None:
             indexed = bindings * (
-                model.analysis_cost + n * model.score_cost * dedup
+                model.analysis_cost + n * score_cost * dedup
             )
         else:
             indexed = bindings * (
                 model.analysis_cost
                 + model.baseline_cost
-                + candidates * model.score_cost * dedup
+                + candidates * score_cost * dedup
             )
-        naive = bindings * max(1, n) * model.score_cost
+        naive = bindings * max(1, n) * score_cost
         strategy = STRATEGY_INDEXED if indexed <= naive else STRATEGY_NAIVE
         selectivity = self._atom_selectivity(
             atom, representative, object_vars, candidates
@@ -773,6 +792,7 @@ class _PlanBuilder:
             indexed_cost=indexed,
             naive_cost=naive,
             selectivity=selectivity,
+            match_rate=match_rate,
         )
         cost = indexed if strategy == STRATEGY_INDEXED else naive
         return NodeEstimate(cost, selectivity)
@@ -849,6 +869,28 @@ class _PlanBuilder:
                     best = (object_id, length)
             binding[name] = best[0] if best is not None else FRESH_OBJECT_ID
         return binding
+
+    def _signature_match_rate(self, atom: ast.Formula) -> Optional[float]:
+        """Sampled match rate of the atom's ``looks_like`` predicates.
+
+        ``None`` when the atom has none (no discount applies).  With
+        several signature predicates the *widest* rate is kept — a
+        conservative (least-discounting) combination.
+        """
+        from repro.pictures.signature import (
+            looks_like_atoms,
+            signature_match_rate,
+        )
+
+        nodes = looks_like_atoms(atom)
+        if not nodes:
+            return None
+        signatures = [
+            segment.signature for segment in self.pictures.segments
+        ]
+        return max(
+            signature_match_rate(node, signatures) for node in nodes
+        )
 
     def _probe_candidates(
         self, atom: ast.Formula, binding: Dict[str, Any]

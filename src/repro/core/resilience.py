@@ -94,6 +94,12 @@ SITE_WAL_APPEND = "wal-append"
 SITE_WAL_FSYNC = "wal-fsync"
 SITE_WAL_REPLAY = "wal-replay"
 SITE_COMPACT_COMMIT = "compact-commit"
+#: Analyzer fault site of :mod:`repro.analyzer.annotate` (DESIGN.md §16):
+#: the construction of one shot's content signature.  A raise here models
+#: a failing feature extractor — annotation degrades to signature-less
+#: metadata for that shot (query-by-example sees it score 0) instead of
+#: aborting the whole analysis.
+SITE_SIGNATURE_BUILD = "signature-build"
 
 FAULT_SITES = (
     SITE_INDEX_LOOKUP,
@@ -111,6 +117,7 @@ FAULT_SITES = (
     SITE_WAL_FSYNC,
     SITE_WAL_REPLAY,
     SITE_COMPACT_COMMIT,
+    SITE_SIGNATURE_BUILD,
 )
 
 #: The installed fault hook (``None`` in production).  A hook is an object

@@ -97,6 +97,16 @@ class WorkloadError(ReproError, ValueError):
     """A workload generator was given inconsistent parameters."""
 
 
+class SignatureError(ReproError, ValueError):
+    """A content-signature operation failed (:mod:`repro.pictures.signature`).
+
+    Raised for unresolved ``looks_like`` clip references at evaluation
+    time, for clips/segments whose signature vectors are degenerate or
+    dimensionally incompatible, and for query-by-example requests naming
+    segments with no attached signature.
+    """
+
+
 class ResilienceError(ReproError):
     """Base class for the fault-tolerance layer (:mod:`repro.core.resilience`)."""
 

@@ -181,6 +181,56 @@ class AtomicRef(Formula):
 
 
 @dataclass(frozen=True)
+class LooksLike(Formula):
+    """Content-signature predicate ``looks_like('clip', θ)`` (DESIGN.md §16).
+
+    The segment *looks like* a query clip: its content signature (the
+    shot-averaged colour histogram attached by the analyzer) matches one
+    of the clip's signature windows with similarity ≥ ``theta``.  The
+    score is the best per-window similarity when it clears the threshold
+    and 0 otherwise, so the atom drops into the similarity-list algebra
+    like any other closed atomic formula.
+
+    ``clip`` holds the query's signature windows inline — resolved
+    formulas are self-contained values, hashable and structurally
+    memoizable like every other node.  The surface syntax references a
+    clip by name only; parsing yields an *unresolved* atom (empty
+    ``clip``) that :func:`repro.pictures.signature.resolve_clips` must
+    rewrite before evaluation.
+    """
+
+    theta: float
+    clip: Tuple[Tuple[float, ...], ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.theta, (int, float)) or isinstance(
+            self.theta, bool
+        ):
+            raise HTLTypeError(
+                f"looks_like threshold must be a number, got {self.theta!r}"
+            )
+        if not 0.0 <= self.theta <= 1.0:
+            raise HTLTypeError(
+                f"looks_like threshold must be in [0, 1], got {self.theta}"
+            )
+        if not self.clip and not self.name:
+            raise HTLTypeError(
+                "looks_like needs a clip: signature windows or a clip name"
+            )
+        for window in self.clip:
+            if not isinstance(window, tuple) or not window:
+                raise HTLTypeError(
+                    f"clip windows must be non-empty tuples, got {window!r}"
+                )
+
+    @property
+    def resolved(self) -> bool:
+        """Does the atom carry its clip windows inline?"""
+        return bool(self.clip)
+
+
+@dataclass(frozen=True)
 class Weighted(Formula):
     """Weight annotation on a non-temporal condition (picture scoring)."""
 

@@ -27,6 +27,7 @@ KEYWORDS = frozenset(
         "true",
         "weight",
         "atomic",
+        "looks_like",
         "at_next_level",
         "at_level",
     }

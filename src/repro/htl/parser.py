@@ -17,6 +17,7 @@ Grammar (loosest to tightest binding)::
                  | 'present' '(' IDENT ')'
                  | 'weight' '(' NUMBER ',' formula ')'
                  | 'atomic' '(' STRING ')' | '$' IDENT
+                 | 'looks_like' '(' STRING ',' NUMBER ')'
                  | term (CMP term)?                        -- Compare or Rel
                  | '(' formula ')'
     term        := NUMBER | STRING | '@' IDENT
@@ -248,6 +249,22 @@ class _Parser:
                 raise self._error("atomic expects a quoted predicate name")
             self._expect_symbol(")")
             return ast.AtomicRef(str(name_token.value))
+        if token.is_keyword("looks_like"):
+            self._advance()
+            self._expect_symbol("(")
+            clip_token = self._advance()
+            if clip_token.kind != "string" or not clip_token.value:
+                raise self._error("looks_like expects a quoted clip name")
+            self._expect_symbol(",")
+            theta_token = self._advance()
+            if theta_token.kind != "number":
+                raise self._error("looks_like expects a numeric threshold")
+            self._expect_symbol(")")
+            # Parsed atoms are *unresolved*: the clip's signature windows
+            # are bound later (repro.pictures.signature.resolve_clips).
+            return ast.LooksLike(
+                theta=float(theta_token.value), name=str(clip_token.value)
+            )
         if token.is_symbol("$"):
             self._advance()
             return ast.AtomicRef(self._expect_ident())

@@ -106,6 +106,24 @@ class _Printer:
             return f"{_check_ident(node.name)}({args})", _PREC_ATOM
         if isinstance(node, ast.AtomicRef):
             return f"atomic({_format_string(node.name)})", _PREC_ATOM
+        if isinstance(node, ast.LooksLike):
+            # Anonymous resolved clips print under a shape-derived
+            # placeholder name: the text is parseable (documented
+            # limitation: it reparses to an *unresolved* atom), which is
+            # what span naming and plan rendering need.
+            name = node.name or f"clip_{len(node.clip)}x{len(node.clip[0])}"
+            theta_text = repr(node.theta)
+            if "e" in theta_text or "E" in theta_text:
+                # Tiny thresholds repr with exponents; θ ∈ [0, 1] always
+                # has a positional decimal form.
+                theta_text = f"{node.theta:.17f}".rstrip("0") or "0"
+                if theta_text.endswith("."):
+                    theta_text += "0"
+            theta = theta_text
+            return (
+                f"looks_like({_format_string(name)}, {theta})",
+                _PREC_ATOM,
+            )
         if isinstance(node, ast.Weighted):
             body = self.formula(node.sub, _PREC_BINDER)
             return (

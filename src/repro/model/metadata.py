@@ -15,6 +15,7 @@ confidence — this is how non-integral similarity values such as the paper's
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
@@ -103,16 +104,46 @@ class Relationship:
             )
 
 
+def _validated_signature(
+    signature: Optional[Iterable[float]],
+) -> Optional[Tuple[float, ...]]:
+    """Coerce and validate an optional content signature.
+
+    Signatures are normalised colour-histogram vectors produced by the
+    analyzer (:mod:`repro.analyzer.features`); the metadata layer only
+    enforces the domain — finite, non-negative numbers — so corrupt store
+    artifacts cannot smuggle NaNs or negative mass into signature scoring.
+    """
+    if signature is None:
+        return None
+    values = tuple(signature)
+    if not values:
+        raise MetadataError("a content signature needs at least one bin")
+    for position, bin_value in enumerate(values):
+        if (
+            not isinstance(bin_value, (int, float))
+            or isinstance(bin_value, bool)
+            or not math.isfinite(bin_value)
+            or bin_value < 0
+        ):
+            raise MetadataError(
+                f"signature bin {position} must be a finite non-negative "
+                f"number, got {bin_value!r}"
+            )
+    return tuple(float(bin_value) for bin_value in values)
+
+
 class SegmentMetadata:
     """All meta-data of one video segment."""
 
-    __slots__ = ("attributes", "_objects", "relationships")
+    __slots__ = ("attributes", "_objects", "relationships", "signature")
 
     def __init__(
         self,
         attributes: Optional[Mapping[str, Union[AttrValue, Fact]]] = None,
         objects: Iterable[ObjectInstance] = (),
         relationships: Iterable[Relationship] = (),
+        signature: Optional[Iterable[float]] = None,
     ):
         self.attributes: Dict[str, Fact] = {
             name: as_fact(value) for name, value in (attributes or {}).items()
@@ -121,6 +152,12 @@ class SegmentMetadata:
         for instance in objects:
             self.add_object(instance)
         self.relationships: List[Relationship] = list(relationships)
+        # Optional content signature: the shot-averaged colour histogram
+        # the signature backend scores looks_like() atoms against.  None
+        # means "no content analysis ran" — annotation-only retrieval.
+        self.signature: Optional[Tuple[float, ...]] = _validated_signature(
+            signature
+        )
 
     # -- objects ----------------------------------------------------------
     def add_object(self, instance: ObjectInstance) -> None:

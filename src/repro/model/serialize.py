@@ -132,6 +132,8 @@ def segment_to_dict(segment: SegmentMetadata) -> Dict[str, Any]:
         relationships.append(item)
     if relationships:
         document["relationships"] = relationships
+    if segment.signature is not None:
+        document["signature"] = list(segment.signature)
     return document
 
 
@@ -161,10 +163,21 @@ def segment_from_dict(document: Dict[str, Any]) -> SegmentMetadata:
             )
             for item in document.get("relationships", [])
         ]
+        signature = document.get("signature")
+        if signature is not None:
+            if not isinstance(signature, list):
+                raise ModelError(
+                    f"segment signature must be a list of numbers, got "
+                    f"{type(signature).__name__}"
+                )
+            # SegmentMetadata validates the value domain (finite,
+            # non-negative) so a corrupt artifact raises a typed error.
+            signature = [float(bin_value) for bin_value in signature]
         return SegmentMetadata(
             attributes=attributes,
             objects=objects,
             relationships=relationships,
+            signature=signature,
         )
 
 

@@ -103,7 +103,11 @@ def _content_key(segment: SegmentMetadata) -> tuple:
             key=repr,
         )
     )
-    return objects, attributes, relationships
+    # The content signature participates in the profile key: equal
+    # profiles promise equal scores for *every* atom, and looks_like()
+    # atoms score the signature, so two segments with equal E-R metadata
+    # but different signatures must not share a profile.
+    return objects, attributes, relationships, segment.signature
 
 
 class MetadataIndex:
@@ -117,9 +121,12 @@ class MetadataIndex:
         by_segment_attr: Dict[Tuple[str, AttrValue], List[int]] = {}
         by_attr_name: Dict[str, List[int]] = {}
         with_any_object: List[int] = []
+        with_signature: List[int] = []
         self._objects_of_type: Dict[str, List[str]] = {}
         object_types_seen: Dict[Tuple[str, str], None] = {}
         for segment_id, segment in enumerate(segments, start=1):
+            if segment.signature is not None:
+                with_signature.append(segment_id)
             saw_object = False
             for instance in segment.objects():
                 saw_object = True
@@ -158,6 +165,7 @@ class MetadataIndex:
         }
         self._by_attr_name: Dict[str, Tuple[int, ...]] = _frozen(by_attr_name)
         self._with_any_object: Tuple[int, ...] = tuple(with_any_object)
+        self._with_signature: Tuple[int, ...] = tuple(with_signature)
         profile_ids: Dict[tuple, int] = {}
         self._segment_profiles: Tuple[int, ...] = tuple(
             profile_ids.setdefault(_content_key(segment), len(profile_ids))
@@ -192,6 +200,7 @@ class MetadataIndex:
         by_segment_attr: Dict[Tuple[str, AttrValue], List[int]] = {}
         by_attr_name: Dict[str, List[int]] = {}
         with_any_object: List[int] = []
+        with_signature: List[int] = []
         typed_seen = {
             (type_name, object_id)
             for type_name, object_ids in self._objects_of_type.items()
@@ -200,6 +209,8 @@ class MetadataIndex:
         for segment_id, segment in enumerate(
             segments, start=self.n_segments + 1
         ):
+            if segment.signature is not None:
+                with_signature.append(segment_id)
             saw_object = False
             for instance in segment.objects():
                 saw_object = True
@@ -251,6 +262,7 @@ class MetadataIndex:
         self._with_any_object = self._with_any_object + tuple(
             with_any_object
         )
+        self._with_signature = self._with_signature + tuple(with_signature)
         if self._profile_keys is None:
             self._profile_keys = {}
         profiles = list(self._segment_profiles)
@@ -292,6 +304,15 @@ class MetadataIndex:
     def segments_with_any_object(self) -> Tuple[int, ...]:
         """Ids of segments containing at least one object."""
         return self._with_any_object
+
+    def segments_with_signature(self) -> Tuple[int, ...]:
+        """Ids of segments carrying a content signature.
+
+        The support set of ``looks_like`` atoms: a segment without a
+        signature scores the atom's baseline (0), exactly like the
+        representative empty segment.
+        """
+        return self._with_signature
 
     # -- content profiles ----------------------------------------------------
     def segment_profiles(self) -> Tuple[int, ...]:
@@ -348,6 +369,7 @@ class MetadataIndex:
                 "universe": len(self._by_object),
                 "types": len(self._objects_of_type),
                 "any_object_segments": len(self._with_any_object),
+                "signature_segments": len(self._with_signature),
             },
         }
 
@@ -381,6 +403,7 @@ class MetadataIndex:
                 key: list(ids) for key, ids in self._by_attr_name.items()
             },
             "with_any_object": list(self._with_any_object),
+            "with_signature": list(self._with_signature),
             "objects_of_type": {
                 key: list(ids) for key, ids in self._objects_of_type.items()
             },
@@ -422,6 +445,12 @@ class MetadataIndex:
             }
             index._with_any_object = tuple(
                 int(i) for i in document["with_any_object"]
+            )
+            # Documents written before the signature backend existed
+            # describe corpora with no signatures, so the empty default
+            # is exact for them.
+            index._with_signature = tuple(
+                int(i) for i in document.get("with_signature", [])
             )
             index._objects_of_type = {
                 str(key): [str(i) for i in ids]

@@ -82,6 +82,9 @@ class PictureStats:
     candidate_segments: int = 0
     #: bindings whose support analysis could not bound the candidates.
     unbounded_bindings: int = 0
+    #: bindings whose near-universal candidate set the density cutoff
+    #: demoted to a direct sweep (a subset of ``unbounded_bindings``).
+    dense_bindings: int = 0
     #: baseline scores computed (one per bounded binding).
     baseline_scores: int = 0
 
@@ -92,6 +95,7 @@ class PictureStats:
         self.fingerprint_hits = 0
         self.candidate_segments = 0
         self.unbounded_bindings = 0
+        self.dense_bindings = 0
         self.baseline_scores = 0
 
 
@@ -394,6 +398,8 @@ class PictureRetrievalSystem:
         support = self._analyzer.atom_support(atom, binding, pool)
         if support.candidates is None:
             self.stats.unbounded_bindings += 1
+            if support.dense:
+                self.stats.dense_bindings += 1
         else:
             self.stats.candidate_segments += len(support.candidates)
         return _Job(objects, box, binding, support)
@@ -437,22 +443,26 @@ class PictureRetrievalSystem:
         fingerprint are scored once (run-compressed scoring).
         """
         n_segments = len(self.segments)
+        # Jobs with an unbounded support — no candidate set, or one the
+        # density cutoff demoted — visit every segment; materialising
+        # their (near-)universal postings into the per-segment job lists
+        # would cost more than it saves, so they sweep directly.
+        sweep_all: List[_Job] = []
         by_segment: Dict[int, List[_Job]] = {}
         for job in jobs:
             candidates = job.support.candidates
-            ids: Sequence[int] = (
-                range(1, n_segments + 1) if candidates is None else candidates
-            )
-            for segment_id in ids:
+            if candidates is None:
+                sweep_all.append(job)
+                continue
+            for segment_id in candidates:
                 by_segment.setdefault(segment_id, []).append(job)
-            if candidates is not None:
-                # Baseline fills every off-candidate gap; scored on the
-                # empty representative segment with ∃-pools narrowed.
-                resilience.fault(resilience.SITE_ATOM_SCORE)
-                job.baseline = score(
-                    atom, _EMPTY_SEGMENT, job.binding, pool, narrow=True
-                )
-                self.stats.baseline_scores += 1
+            # Baseline fills every off-candidate gap; scored on the
+            # empty representative segment with ∃-pools narrowed.
+            resilience.fault(resilience.SITE_ATOM_SCORE)
+            job.baseline = score(
+                atom, _EMPTY_SEGMENT, job.binding, pool, narrow=True
+            )
+            self.stats.baseline_scores += 1
         trace = self.trace_scored
         profiles = self.index.segment_profiles()
         segments = self.segments
@@ -460,7 +470,11 @@ class PictureRetrievalSystem:
         scored_count = 0
         hit_count = 0
         pending = 0
-        for segment_id in sorted(by_segment):
+        segment_ids: Sequence[int] = (
+            range(1, n_segments + 1) if sweep_all else sorted(by_segment)
+        )
+        no_jobs: List[_Job] = []
+        for segment_id in segment_ids:
             segment = segments[segment_id - 1]
             profile = profiles[segment_id - 1]
             if budget is not None:
@@ -471,7 +485,9 @@ class PictureRetrievalSystem:
                 if pending >= 256:
                     budget.charge(pending, site="atom-scoring")
                     pending = 0
-            for job in by_segment[segment_id]:
+            for job in itertools.chain(
+                sweep_all, by_segment.get(segment_id, no_jobs)
+            ):
                 # First level: segments with identical content (profile)
                 # share a score outright — no probing at all.
                 actual = job.profile_memo.get(profile)

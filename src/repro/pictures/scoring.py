@@ -62,7 +62,10 @@ def max_similarity(formula: ast.Formula) -> float:
     Depends only on the formula (paper §2.5: "the maximum m is only a
     function of f").
     """
-    if isinstance(formula, (ast.Truth, ast.Present, ast.Compare, ast.Rel)):
+    if isinstance(
+        formula,
+        (ast.Truth, ast.Present, ast.Compare, ast.Rel, ast.LooksLike),
+    ):
         return 1.0
     if isinstance(formula, ast.Weighted):
         return formula.weight * max_similarity(formula.sub)
@@ -222,6 +225,12 @@ def score(
         extended = dict(binding)
         extended[formula.var] = captured[0]
         return score(formula.sub, segment, extended, universe, narrow)
+    if isinstance(formula, ast.LooksLike):
+        # Imported here: the signature backend is a sibling module that
+        # must stay import-light (no scoring dependency the other way).
+        from repro.pictures.signature import looks_like_score
+
+        return looks_like_score(formula, segment.signature)
     raise UnsupportedFormulaError(
         f"{type(formula).__name__} is not scorable on a single segment"
     )
@@ -307,7 +316,9 @@ def _narrowing_of(
     """(safe, needs_rel) of the occurrences of ``targets`` under ``node``."""
     if not targets:
         return True, False
-    if isinstance(node, (ast.Truth, ast.Present)):
+    if isinstance(node, (ast.Truth, ast.Present, ast.LooksLike)):
+        # looks_like is variable-free: it scores the segment signature
+        # only, so it cannot distinguish absent object ids.
         return True, False
     if isinstance(node, ast.Compare):
         left_safe, left_rel = _term_occurrences(node.left, targets)

@@ -98,6 +98,8 @@ class Probes:
     rel_names: Set[str] = field(default_factory=set)
     pool_presence: bool = False
     pool_attr_names: Set[str] = field(default_factory=set)
+    #: A looks_like atom reads the segment's content signature.
+    signature: bool = False
 
     def merge(self, other: "Probes") -> None:
         self.objects |= other.objects
@@ -107,6 +109,7 @@ class Probes:
         self.rel_names |= other.rel_names
         self.pool_presence = self.pool_presence or other.pool_presence
         self.pool_attr_names |= other.pool_attr_names
+        self.signature = self.signature or other.signature
 
 
 class FingerprintPlan:
@@ -124,6 +127,7 @@ class FingerprintPlan:
         "rel_names",
         "pool_presence",
         "pool_attr_names",
+        "signature",
         "pool_set",
     )
 
@@ -137,11 +141,14 @@ class FingerprintPlan:
         self.rel_names = tuple(sorted(probes.rel_names))
         self.pool_presence = probes.pool_presence
         self.pool_attr_names = tuple(sorted(probes.pool_attr_names))
+        self.signature = probes.signature
         self.pool_set = frozenset(pool)
 
     def fingerprint(self, segment: SegmentMetadata) -> tuple:
         parts: list = []
         append = parts.append
+        if self.signature:
+            append(segment.signature)
         for object_id in self.objects:
             instance = segment.object(object_id)
             append(None if instance is None else instance.confidence)
@@ -189,6 +196,18 @@ class FingerprintPlan:
         return tuple(parts)
 
 
+#: Candidate-density cutoff: a candidate set covering at least this
+#: fraction of the sequence is demoted to "every segment" (DESIGN.md §16).
+#: Near-universal postings make the per-segment candidate bookkeeping
+#: cost more than it saves — the sweep visits (almost) everything either
+#: way — so the analysis reports an unbounded support and the sweep walks
+#: the sequence directly, keeping the fingerprint plan for memoization.
+#: Sound by the same contract that makes bounded supports correct:
+#: off-candidate segments score the baseline, and the direct sweep simply
+#: computes that same value.
+DENSE_CUTOFF = 0.5
+
+
 @dataclass(frozen=True)
 class AtomSupport:
     """Result of the analysis for one (atom, binding) pair.
@@ -196,11 +215,14 @@ class AtomSupport:
     ``candidates`` is the sorted tuple of 1-based segment ids where the
     score may differ from the baseline, or ``None`` for "every segment".
     ``plan`` is the fingerprint plan, or ``None`` when the atom must be
-    scored per candidate segment.
+    scored per candidate segment.  ``dense`` marks a support whose
+    bounded candidate set was demoted to unbounded by the
+    :data:`DENSE_CUTOFF` density rule.
     """
 
     candidates: Optional[Tuple[int, ...]]
     plan: Optional[FingerprintPlan]
+    dense: bool = False
 
     def covers(self, segment_id: int) -> bool:
         return self.candidates is None or segment_id in self.candidates
@@ -268,7 +290,20 @@ class SupportAnalyzer:
         )
         candidates = None if support is None else tuple(sorted(support))
         plan = None if probes is None else FingerprintPlan(probes, pool_ids)
-        return AtomSupport(candidates, plan)
+        dense = False
+        if (
+            candidates is not None
+            and self._index.n_segments
+            and len(candidates) >= DENSE_CUTOFF * self._index.n_segments
+        ):
+            # Density cutoff: materialising near-universal postings in the
+            # sweep's per-segment job lists costs more than the baseline
+            # runs they would save.  Demote to an unbounded support — the
+            # sweep walks the sequence directly and the planner prices the
+            # atom as a sweep.
+            candidates = None
+            dense = True
+        return AtomSupport(candidates, plan, dense)
 
     def _pool_postings(self, pool: Tuple[str, ...]) -> Set[int]:
         """Union of the pool ids' presence posting lists (do not mutate)."""
@@ -460,6 +495,16 @@ class SupportAnalyzer:
         if isinstance(formula, ast.Not):
             return self._formula(
                 formula.sub, binding, exists_vars, frozen_vars, pool
+            )
+        if isinstance(formula, ast.LooksLike):
+            # The score reads the segment's content signature and nothing
+            # else.  A segment without one scores the atom's baseline
+            # (0, exactly the representative empty segment's score), so
+            # the signature-bearing segments are a sound candidate set;
+            # the fingerprint is the signature itself.
+            return (
+                set(self._index.segments_with_signature()),
+                Probes(signature=True),
             )
         if isinstance(formula, ast.Exists):
             # Quantified variables shadow outer bindings and freezes.

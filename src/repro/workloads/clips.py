@@ -1,0 +1,114 @@
+"""The ``clips`` dataset: an analyzer-produced video with recurring shots.
+
+Every other built-in dataset is hand-annotated and therefore carries no
+content signatures; this one is produced end-to-end by the
+:class:`~repro.analyzer.annotate.VideoAnalyzer`, so each segment carries
+the shot-averaged histogram signature the ``looks_like`` predicate
+(DESIGN.md §16) scores against.  The synthetic "broadcast" alternates a
+recurring anchor-desk shot with field reports and interviews: the
+recurrences are near-duplicates of one underlying signature (within-shot
+jitter only), which is exactly the structure query-by-example retrieval
+is meant to surface.
+
+Everything is seeded, so the dataset — signatures included — is
+bit-stable across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.analyzer.annotate import AnnotationRule, VideoAnalyzer
+from repro.analyzer.cutdetect import CutDetectorConfig
+from repro.analyzer.features import N_BINS, Frame, FrameStream
+from repro.model.database import VideoDatabase
+from repro.model.hierarchy import Video
+from repro.model.metadata import ObjectInstance, Relationship
+
+#: (label, base-signature key, frames) per shot, in broadcast order.  The
+#: ``anchor`` base recurs four times; ``field`` twice; the rest are
+#: one-offs — so by-example queries have both true repeats and near
+#: misses to rank.
+_SHOT_PLAN = (
+    ("anchor", "anchor", 12),
+    ("field-report", "field", 9),
+    ("anchor", "anchor", 10),
+    ("interview", "interview", 11),
+    ("anchor", "anchor", 12),
+    ("field-report", "field", 8),
+    ("weather", "weather", 9),
+    ("anchor", "anchor", 11),
+)
+
+_SEED = 97
+_NOISE = 0.008
+
+
+def _base_signature(rng: random.Random) -> List[float]:
+    weights = [rng.random() ** 2 for __ in range(N_BINS)]
+    total = sum(weights)
+    return [weight / total for weight in weights]
+
+
+def _jittered(base: List[float], rng: random.Random) -> tuple:
+    noisy = [
+        max(bin_value + rng.uniform(-_NOISE, _NOISE), 0.0)
+        for bin_value in base
+    ]
+    total = sum(noisy) or 1.0
+    return tuple(bin_value / total for bin_value in noisy)
+
+
+def clips_stream() -> FrameStream:
+    """The synthetic broadcast stream behind the ``clips`` dataset."""
+    rng = random.Random(_SEED)
+    bases: Dict[str, List[float]] = {}
+    for __, key, ___ in _SHOT_PLAN:
+        if key not in bases:
+            bases[key] = _base_signature(rng)
+    frames: List[Frame] = []
+    boundaries: List[int] = []
+    labels: List[str] = []
+    for label, key, length in _SHOT_PLAN:
+        boundaries.append(len(frames))
+        labels.append(label)
+        for __ in range(length):
+            frames.append(Frame(_jittered(bases[key], rng)))
+    return FrameStream(frames=frames, boundaries=boundaries, labels=labels)
+
+
+def _rules() -> Dict[str, AnnotationRule]:
+    anchor = ObjectInstance("anchor_1", "person", {"role": "anchor"}, 1.0)
+    reporter = ObjectInstance(
+        "reporter_1", "person", {"role": "reporter"}, 0.9
+    )
+    guest = ObjectInstance("guest_1", "person", {"role": "guest"}, 0.8)
+    return {
+        "anchor": AnnotationRule(
+            objects=[anchor], attributes={"setting": "studio"}
+        ),
+        "field-report": AnnotationRule(
+            objects=[reporter], attributes={"setting": "field"}
+        ),
+        "interview": AnnotationRule(
+            objects=[anchor, guest],
+            relationships=[Relationship("talks_to", ("anchor_1", "guest_1"))],
+            attributes={"setting": "studio"},
+        ),
+        "weather": AnnotationRule(attributes={"setting": "studio"}),
+    }
+
+
+def clips_video() -> Video:
+    """The analyzer-annotated broadcast (segments carry signatures)."""
+    analyzer = VideoAnalyzer(config=CutDetectorConfig(), rules=_rules())
+    return analyzer.annotate(
+        clips_stream(), "clips", root_attributes={"genre": "news"}
+    )
+
+
+def clips_database() -> VideoDatabase:
+    database = VideoDatabase()
+    database.add(clips_video())
+    return database

@@ -18,8 +18,10 @@ from repro.analyzer import (
     synthesize_stream,
 )
 from repro.analyzer.features import N_BINS
-from repro.errors import WorkloadError
+from repro.core import instrument, resilience
+from repro.errors import ReproError, WorkloadError
 from repro.model.metadata import Relationship, make_object
+from repro.testing.faults import RAISE, FaultSpec, inject
 
 
 class TestFeatures:
@@ -63,6 +65,33 @@ class TestFeatures:
     def test_bad_histogram_size_rejected(self):
         with pytest.raises(WorkloadError):
             Frame((0.5, 0.5))
+
+    def test_negative_histogram_entries_rejected(self):
+        histogram = [0.0] * N_BINS
+        histogram[3] = -0.25
+        with pytest.raises(WorkloadError, match="non-negative"):
+            Frame(tuple(histogram))
+
+    def test_non_finite_histogram_entries_rejected(self):
+        for poison in (float("nan"), float("inf"), -float("inf")):
+            histogram = [1.0 / N_BINS] * N_BINS
+            histogram[0] = poison
+            with pytest.raises(WorkloadError, match="finite"):
+                Frame(tuple(histogram))
+
+    def test_non_numeric_histogram_entries_rejected(self):
+        histogram = [1.0 / N_BINS] * N_BINS
+        histogram[0] = True  # bool is not a histogram mass
+        with pytest.raises(WorkloadError, match="must be a number"):
+            Frame(tuple(histogram))
+
+    def test_zero_total_frames_rejected_at_comparison(self):
+        blank = Frame((0.0,) * N_BINS)  # a blank frame is representable…
+        lit = Frame((1.0 / N_BINS,) * N_BINS)
+        with pytest.raises(WorkloadError, match="zero-total"):
+            histogram_difference(blank, lit)  # …but never comparable
+        with pytest.raises(WorkloadError, match="zero-total"):
+            histogram_difference(lit, blank)
 
 
 class TestCutDetection:
@@ -199,3 +228,115 @@ class TestAnnotation:
         assert result.actual_at(1) == pytest.approx(1.0)
         assert result.actual_at(2) == pytest.approx(1.0)
         assert result.actual_at(3) == 0.0
+
+
+class TestSignatureAttachment:
+    def test_every_shot_carries_its_mean_histogram(self):
+        from repro.pictures.signature import average_histograms
+
+        stream = synthesize_stream(
+            [ShotSpec(10, "a"), ShotSpec(12, "b")], seed=21
+        )
+        video = VideoAnalyzer().annotate(stream, "clip")
+        shots = video.nodes_at_level(2)
+        assert len(shots) == 2
+        for node in shots:
+            metadata = node.metadata
+            first = metadata.segment_attribute("first_frame").value
+            last = metadata.segment_attribute("last_frame").value
+            expected = average_histograms(
+                [f.histogram for f in stream.frames[first : last + 1]]
+            )
+            assert metadata.signature == expected
+
+    def test_annotated_video_answers_looks_like(self):
+        from repro.core.engine import RetrievalEngine
+        from repro.htl import parse
+        from repro.pictures.signature import resolve_clips
+
+        stream = synthesize_stream(
+            [ShotSpec(10, "a"), ShotSpec(10, "b")], seed=22
+        )
+        video = VideoAnalyzer().annotate(stream, "clip")
+        shots = [node.metadata for node in video.nodes_at_level(2)]
+        formula = resolve_clips(
+            parse("looks_like('first', 0.99)"),
+            {"first": [shots[0].signature]},
+        )
+        result = RetrievalEngine().evaluate_video(formula, video)
+        assert result.actual_at(1) == 1.0  # the example itself
+        assert result.actual_at(2) == 0.0  # an unrelated shot
+
+
+class TestSignatureBuildChaos:
+    """The ``signature-build`` fault site: a broken feature extractor
+    degrades shots to annotation-only metadata, never aborts analysis."""
+
+    def stream(self):
+        return synthesize_stream(
+            [ShotSpec(10, "talk"), ShotSpec(10, "train")], seed=23
+        )
+
+    def rules(self):
+        return {
+            "train": AnnotationRule(objects=[make_object("t1", "train")])
+        }
+
+    def test_direct_caller_sees_the_typed_error(self):
+        analyzer = VideoAnalyzer()
+        stream = self.stream()
+        shot = analyzer.segment(stream)[0]
+        spec = FaultSpec(resilience.SITE_SIGNATURE_BUILD, mode=RAISE)
+        with inject(spec):
+            with pytest.raises(ReproError):
+                analyzer.signature_of(stream, shot)
+
+    def test_annotation_survives_with_named_degradation(self):
+        analyzer = VideoAnalyzer(rules=self.rules())
+        stream = self.stream()
+        fault_free = analyzer.annotate(stream, "clip")
+        instrument.reset()
+        spec = FaultSpec(resilience.SITE_SIGNATURE_BUILD, mode=RAISE)
+        with inject(spec):
+            degraded = analyzer.annotate(stream, "clip")
+        shots = [node.metadata for node in degraded.nodes_at_level(2)]
+        # Every shot was produced, signature-less, and the degradation
+        # is named: one counter bump per degraded shot.
+        assert len(shots) == len(fault_free.nodes_at_level(2)) == 2
+        assert all(shot.signature is None for shot in shots)
+        assert (
+            instrument.counters()[instrument.SIGNATURE_DEGRADED] == 2
+        )
+
+    def test_annotation_retrieval_unaffected_by_degradation(self):
+        from repro.core.engine import RetrievalEngine
+        from repro.htl import parse
+        from repro.pictures.signature import resolve_clips
+
+        analyzer = VideoAnalyzer(rules=self.rules())
+        stream = self.stream()
+        fault_free = analyzer.annotate(stream, "clip")
+        spec = FaultSpec(resilience.SITE_SIGNATURE_BUILD, mode=RAISE)
+        with inject(spec):
+            degraded = analyzer.annotate(stream, "clip")
+        engine = RetrievalEngine()
+        annotation_query = parse("eventually exists t . present(t)")
+        # Annotation-only retrieval: exactly the fault-free ranking.
+        assert engine.evaluate_video(
+            annotation_query, degraded
+        ) == engine.evaluate_video(annotation_query, fault_free)
+        # Content retrieval degrades soundly: signature-less segments
+        # score 0 — an empty ranking, never a wrong one.
+        clip = [
+            node.metadata.signature for node in fault_free.nodes_at_level(2)
+        ]
+        content_query = resolve_clips(
+            parse("looks_like('q', 0.5)"), {"q": clip}
+        )
+        empty = engine.evaluate_video(content_query, degraded)
+        assert all(
+            empty.actual_at(position) == 0.0
+            for position in (1, 2)
+        )
+        full = engine.evaluate_video(content_query, fault_free)
+        assert full.actual_at(1) == 1.0

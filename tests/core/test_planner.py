@@ -95,6 +95,7 @@ class TestIndexStats:
             "universe": 0,
             "types": 0,
             "any_object_segments": 0,
+            "signature_segments": 0,
         }
         for family in stats["postings"].values():
             assert family["keys"] == 0

@@ -1,0 +1,504 @@
+"""Content-signature backend: scoring, clip resolution, exactness.
+
+The ``looks_like`` predicate (DESIGN.md §16) claims to be just another
+closed non-temporal atom: the indexed sweep, the naive oracle, the
+planned engine and the structural engine must all agree exactly under
+¬/∨/∃/freeze composition, the L1 bound must be admissible (pruning never
+changes a thresholded score), and the dense-regime cutoff must demote
+near-universal candidate sets without changing any ranking.  These tests
+check those claims property-style, mirroring ``test_index_driven.py``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig, RetrievalEngine
+from repro.errors import (
+    HTLTypeError,
+    MetadataError,
+    ModelError,
+    SignatureError,
+    WorkloadError,
+)
+from repro.htl import ast
+from repro.htl.parser import parse
+from repro.htl.variables import free_object_vars
+from repro.model.hierarchy import flat_video
+from repro.model.metadata import SegmentMetadata, make_object
+from repro.model.serialize import segment_from_dict, segment_to_dict
+from repro.pictures.retrieval import PictureRetrievalSystem
+from repro.pictures.signature import (
+    average_histograms,
+    clip_from_segments,
+    looks_like_atom,
+    looks_like_atoms,
+    looks_like_score,
+    resolve_clips,
+    signature_match_rate,
+    ssim_score,
+    unresolved_clip_names,
+    window_bound,
+    window_similarity,
+)
+from repro.pictures.support import DENSE_CUTOFF
+from tests.integration.strategies import KINDS, TYPES, segment_metadata
+from tests.pictures.test_index_driven import assert_tables_equal
+
+#: A small signature palette with deliberate structure: two near-identical
+#: vectors (high similarity), one distant, one uniform — so drawn θ values
+#: land on both sides of real scores.
+PALETTE = [
+    (0.70, 0.10, 0.10, 0.10),
+    (0.68, 0.12, 0.10, 0.10),
+    (0.05, 0.05, 0.70, 0.20),
+    (0.25, 0.25, 0.25, 0.25),
+]
+THETAS = [0.55, 0.80, 0.97]
+
+
+def signed(segment, signature):
+    """The segment with a signature attached (metadata is immutable)."""
+    return SegmentMetadata(
+        attributes=segment.attributes,
+        objects=list(segment.objects()),
+        relationships=list(segment.relationships),
+        signature=signature,
+    )
+
+
+# ---------------------------------------------------------------------------
+# strategies: signature-bearing segments, looks_like-bearing formulas
+# ---------------------------------------------------------------------------
+@st.composite
+def signed_segments(draw, min_segments=0, max_segments=6):
+    n = draw(st.integers(min_segments, max_segments))
+    segments = []
+    for __ in range(n):
+        segment = draw(segment_metadata())
+        signature = draw(
+            st.one_of(st.none(), st.sampled_from(PALETTE))
+        )
+        segments.append(signed(segment, signature))
+    return segments
+
+
+def _looks_like_leaf():
+    return st.builds(
+        lambda windows, theta: looks_like_atom(windows, theta, name="clip"),
+        st.lists(st.sampled_from(PALETTE), min_size=1, max_size=2),
+        st.sampled_from(THETAS),
+    )
+
+
+def _leaves(var_names):
+    options = [
+        _looks_like_leaf(),
+        st.sampled_from(KINDS).map(
+            lambda k: ast.Compare("=", ast.AttrFunc("kind", ()), ast.Const(k))
+        ),
+    ]
+    for name in var_names:
+        var = ast.ObjectVar(name)
+        options.extend(
+            [
+                st.just(ast.Present(var)),
+                st.sampled_from(TYPES).map(
+                    lambda t, v=var: ast.Compare(
+                        "=", ast.AttrFunc("type", (v,)), ast.Const(t)
+                    )
+                ),
+            ]
+        )
+    return st.one_of(options)
+
+
+def _extend(children):
+    return st.one_of(
+        st.tuples(children, children).map(lambda pair: ast.And(*pair)),
+        st.tuples(children, children).map(lambda pair: ast.Or(*pair)),
+        children.map(ast.Not),
+        children.map(lambda sub: ast.Weighted(2.5, sub)),
+    )
+
+
+@st.composite
+def signature_formulas(draw):
+    """Non-temporal formulas guaranteed to contain a ``looks_like`` atom,
+    composed under ¬/∨/∧/weights, optionally ∃-closed or freeze-wrapped."""
+    var_names = draw(st.sampled_from([(), ("x",)]))
+    body = draw(st.recursive(_leaves(var_names), _extend, max_leaves=4))
+    if not looks_like_atoms(body):
+        body = ast.And(body, draw(_looks_like_leaf()))
+    if var_names and draw(st.booleans()):
+        body = ast.Exists(tuple(var_names), body)
+        var_names = ()
+    if var_names and draw(st.booleans()):
+        # freeze capture compared inside the atom, as in test_index_driven
+        func = ast.AttrFunc("height", (ast.ObjectVar(var_names[0]),))
+        body = ast.Freeze(
+            "h", func, ast.And(body, ast.Compare(">=", func, ast.AttrVar("h")))
+        )
+    return body
+
+
+def closed(formula):
+    names = sorted(free_object_vars(formula))
+    if names:
+        return ast.Exists(tuple(names), formula)
+    return formula
+
+
+# ---------------------------------------------------------------------------
+# signature construction
+# ---------------------------------------------------------------------------
+class TestSignatureConstruction:
+    def test_average_is_mass_normalised_mean(self):
+        signature = average_histograms([(2.0, 0.0), (0.0, 2.0), (2.0, 2.0)])
+        assert signature == pytest.approx((0.5, 0.5))
+        assert sum(signature) == pytest.approx(1.0)
+
+    def test_empty_frame_sequence_rejected(self):
+        with pytest.raises(WorkloadError, match="empty frame sequence"):
+            average_histograms([])
+
+    def test_ragged_histograms_rejected(self):
+        with pytest.raises(WorkloadError, match="ragged"):
+            average_histograms([(0.5, 0.5), (0.3, 0.3, 0.4)])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(WorkloadError, match="zero-total"):
+            average_histograms([(0.0, 0.0), (0.0, 0.0)])
+
+    def test_clip_from_segments(self):
+        segments = [
+            signed(SegmentMetadata(), PALETTE[0]),
+            signed(SegmentMetadata(), PALETTE[2]),
+        ]
+        assert clip_from_segments(segments) == (PALETTE[0], PALETTE[2])
+
+    def test_clip_needs_segments(self):
+        with pytest.raises(SignatureError, match="at least one segment"):
+            clip_from_segments([])
+
+    def test_signature_less_example_rejected(self):
+        segments = [signed(SegmentMetadata(), PALETTE[0]), SegmentMetadata()]
+        with pytest.raises(SignatureError, match="segment 2"):
+            clip_from_segments(segments)
+
+    def test_atom_needs_windows(self):
+        with pytest.raises(SignatureError, match="at least one window"):
+            looks_like_atom([], 0.5)
+
+
+# ---------------------------------------------------------------------------
+# clip resolution
+# ---------------------------------------------------------------------------
+class TestClipResolution:
+    def test_parser_leaves_clips_unresolved(self):
+        formula = parse("looks_like('intro', 0.8)")
+        atoms = looks_like_atoms(formula)
+        assert len(atoms) == 1
+        assert not atoms[0].resolved
+        assert atoms[0].name == "intro"
+        assert atoms[0].theta == 0.8
+        assert unresolved_clip_names(formula) == ["intro"]
+
+    def test_resolution_rewrites_nested_atoms(self):
+        formula = parse(
+            "not looks_like('a', 0.9) or "
+            "(exists x . present(x) and looks_like('b', 0.6))"
+        )
+        assert unresolved_clip_names(formula) == ["a", "b"]
+        resolved = resolve_clips(
+            formula, {"a": [PALETTE[0]], "b": [PALETTE[1], PALETTE[2]]}
+        )
+        assert unresolved_clip_names(resolved) == []
+        atoms = looks_like_atoms(resolved)
+        assert atoms[0].clip == (PALETTE[0],)
+        assert atoms[1].clip == (PALETTE[1], PALETTE[2])
+        # names survive resolution for display purposes
+        assert [atom.name for atom in atoms] == ["a", "b"]
+
+    def test_unknown_clip_name_is_typed_error(self):
+        formula = parse("looks_like('missing', 0.5)")
+        with pytest.raises(SignatureError, match="known clips: intro"):
+            resolve_clips(formula, {"intro": [PALETTE[0]]})
+
+    def test_fully_resolved_formula_returned_unchanged(self):
+        formula = resolve_clips(
+            parse("looks_like('q', 0.5)"), {"q": [PALETTE[0]]}
+        )
+        assert resolve_clips(formula, {}) is formula
+
+    def test_evaluating_unresolved_atom_is_typed_error(self):
+        atom = parse("looks_like('q', 0.5)")
+        system = PictureRetrievalSystem([signed(SegmentMetadata(), PALETTE[0])])
+        with pytest.raises(SignatureError, match="resolve_clips"):
+            system.similarity_list(atom, use_index=True)
+        with pytest.raises(SignatureError, match="resolve_clips"):
+            system.similarity_list(atom, use_index=False)
+
+
+# ---------------------------------------------------------------------------
+# window similarity and the admissible bound
+# ---------------------------------------------------------------------------
+def vectors(min_size=2, max_size=8):
+    return st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=min_size,
+        max_size=max_size,
+    ).filter(lambda values: sum(values) > 0.0).map(tuple)
+
+
+class TestWindowSimilarity:
+    def test_identical_vectors_score_one(self):
+        for window in PALETTE:
+            assert window_similarity(window, window) == pytest.approx(1.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(first=vectors(min_size=4, max_size=4), second=vectors(4, 4))
+    def test_bounded_symmetric_and_admissible(self, first, second):
+        similarity = window_similarity(first, second)
+        assert 0.0 <= similarity <= 1.0
+        assert similarity == pytest.approx(window_similarity(second, first))
+        assert window_bound(first, second) >= similarity - 1e-12
+        assert -1.0 <= ssim_score(first, second) <= 1.0
+
+    def test_mismatched_bins_rejected(self):
+        with pytest.raises(SignatureError, match="bin count"):
+            window_similarity((0.5, 0.5), (0.3, 0.3, 0.4))
+        with pytest.raises(SignatureError, match="bin count"):
+            window_bound((), ())
+
+    def test_zero_total_vector_rejected(self):
+        with pytest.raises(SignatureError, match="zero-total"):
+            window_similarity((0.0, 0.0), (0.5, 0.5))
+
+    def test_score_zero_without_signature(self):
+        atom = looks_like_atom([PALETTE[0]], 0.5)
+        assert looks_like_score(atom, None) == 0.0
+
+    def test_score_thresholds_best_window(self):
+        atom = looks_like_atom([PALETTE[0], PALETTE[2]], 0.6)
+        best = max(
+            window_similarity(PALETTE[1], PALETTE[0]),
+            window_similarity(PALETTE[1], PALETTE[2]),
+        )
+        assert best >= 0.6
+        assert looks_like_score(atom, PALETTE[1]) == best
+        strict = looks_like_atom([PALETTE[0], PALETTE[2]], best + 1e-6)
+        assert looks_like_score(strict, PALETTE[1]) == 0.0
+
+    def test_unresolved_atom_rejected(self):
+        atom = ast.LooksLike(theta=0.5, name="q")
+        with pytest.raises(SignatureError, match="resolve_clips"):
+            looks_like_score(atom, PALETTE[0])
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        signature=st.sampled_from(PALETTE),
+        windows=st.lists(st.sampled_from(PALETTE), min_size=1, max_size=3),
+        theta=st.sampled_from(THETAS),
+    )
+    def test_bound_pruning_never_changes_the_score(
+        self, signature, windows, theta
+    ):
+        # The definitional scorer: every window, full similarity, no bound.
+        best = max(window_similarity(signature, w) for w in windows)
+        expected = best if best >= theta else 0.0
+        atom = looks_like_atom(windows, theta)
+        assert looks_like_score(atom, signature) == expected
+
+    def test_match_rate_counts_clearing_segments(self):
+        atom = looks_like_atom([PALETTE[0]], 0.97)
+        signatures = [PALETTE[0], PALETTE[1], PALETTE[2], None]
+        rate = signature_match_rate(atom, signatures)
+        matching = sum(
+            1 for s in signatures if looks_like_score(atom, s) > 0.0
+        )
+        assert rate == matching / len(signatures)
+        assert signature_match_rate(atom, []) == 1.0
+        unresolved = ast.LooksLike(theta=0.5, name="q")
+        assert signature_match_rate(unresolved, signatures) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# the oracle property, signature edition
+# ---------------------------------------------------------------------------
+class TestIndexedEqualsNaive:
+    @settings(max_examples=120, deadline=None)
+    @given(segments=signed_segments(), atom=signature_formulas())
+    def test_similarity_table_identical(self, segments, atom):
+        system = PictureRetrievalSystem(segments)
+        indexed = system.similarity_table(atom, use_index=True)
+        naive = system.similarity_table(atom, use_index=False)
+        assert_tables_equal(indexed, naive)
+
+    @settings(max_examples=40, deadline=None)
+    @given(segments=signed_segments(), atom=signature_formulas())
+    def test_pruned_tables_identical(self, segments, atom):
+        system = PictureRetrievalSystem(segments)
+        indexed = system.similarity_table(atom, prune=True, use_index=True)
+        naive = system.similarity_table(atom, prune=True, use_index=False)
+        assert_tables_equal(indexed, naive)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        segments=signed_segments(min_segments=1),
+        left=signature_formulas(),
+        right=signature_formulas(),
+    )
+    def test_planned_equals_structural_equals_naive(
+        self, segments, left, right
+    ):
+        # ∧ of a signature atom with a temporal wrapper: the shape the
+        # planner reorders.  Planning must never change the ranking.
+        video = flat_video("signed", segments)
+        formula = closed(ast.And(left, ast.Eventually(right)))
+
+        def outcome(config):
+            try:
+                return RetrievalEngine(config).evaluate_video(formula, video)
+            except HTLTypeError as error:
+                return ("raised", type(error).__name__)
+
+        planned = outcome(EngineConfig())
+        structural = outcome(EngineConfig(plan=False))
+        naive = outcome(EngineConfig(naive_atoms=True))
+        assert planned == structural
+        assert planned == naive
+
+    @settings(max_examples=80, deadline=None)
+    @given(segments=signed_segments(), atom=signature_formulas())
+    def test_never_scores_outside_candidates(self, segments, atom):
+        system = PictureRetrievalSystem(segments)
+        system.trace_scored = []
+        table = system.similarity_table(atom, use_index=True)
+        object_vars = table.object_vars
+        for objects, segment_id in system.trace_scored:
+            binding = dict(zip(object_vars, objects))
+            support = system.atom_support(atom, binding)
+            assert support.covers(segment_id)
+
+
+# ---------------------------------------------------------------------------
+# support analysis: signature candidates and the dense cutoff
+# ---------------------------------------------------------------------------
+class TestDenseCutoff:
+    def corpus(self, n_signed, n_total):
+        segments = [SegmentMetadata() for __ in range(n_total)]
+        for position in range(n_signed):
+            segments[position] = signed(
+                SegmentMetadata(), PALETTE[position % len(PALETTE)]
+            )
+        return segments
+
+    def test_sparse_signature_support_stays_bounded(self):
+        # 3 signed of 20: below the cutoff, candidates are explicit.
+        system = PictureRetrievalSystem(self.corpus(3, 20))
+        atom = looks_like_atom([PALETTE[0]], 0.5)
+        support = system.atom_support(atom, {}, charge=False)
+        assert support.candidates == (1, 2, 3)
+        assert not support.dense
+
+    def test_dense_signature_support_demoted_to_sweep(self):
+        # 15 signed of 20: at/over the cutoff, the posting list is
+        # demoted — no candidate materialisation, plan retained.
+        system = PictureRetrievalSystem(self.corpus(15, 20))
+        atom = looks_like_atom([PALETTE[0]], 0.5)
+        support = system.atom_support(atom, {}, charge=False)
+        assert support.candidates is None
+        assert support.dense
+        assert support.covers(20)  # a sweep covers everything
+
+    def test_cutoff_boundary(self):
+        atom = looks_like_atom([PALETTE[0]], 0.5)
+        just_under = PictureRetrievalSystem(self.corpus(9, 20))
+        assert not just_under.atom_support(atom, {}, charge=False).dense
+        at_cutoff = PictureRetrievalSystem(
+            self.corpus(int(DENSE_CUTOFF * 20), 20)
+        )
+        assert at_cutoff.atom_support(atom, {}, charge=False).dense
+
+    def test_dense_metadata_atom_demoted_too(self):
+        # The bugfix is not signature-specific: a near-universal object
+        # posting takes the same direct-sweep path.
+        segments = [
+            SegmentMetadata(objects=[make_object("o1", "person")])
+            if position % 10 < 6
+            else SegmentMetadata()
+            for position in range(40)
+        ]
+        system = PictureRetrievalSystem(segments)
+        atom = parse("exists x . present(x)")
+        indexed = system.similarity_list(atom, use_index=True)
+        assert system.stats.dense_bindings > 0
+        assert indexed == system.similarity_list(atom, use_index=False)
+
+    def test_dense_rankings_still_exact(self):
+        system = PictureRetrievalSystem(self.corpus(18, 20))
+        atom = looks_like_atom([PALETTE[0], PALETTE[3]], 0.6)
+        indexed = system.similarity_list(atom, use_index=True)
+        assert system.stats.dense_bindings > 0
+        assert indexed == system.similarity_list(atom, use_index=False)
+
+    def test_sparse_workload_unaffected_by_cutoff(self):
+        # The sparse regime (the §7 speedup) must keep its tight bound:
+        # nothing outside the 3 candidates is scored.
+        system = PictureRetrievalSystem(self.corpus(3, 200))
+        atom = looks_like_atom([PALETTE[0]], 0.0)
+        system.similarity_list(atom, use_index=True)
+        assert system.stats.dense_bindings == 0
+        assert system.stats.segments_scored <= 3
+
+
+# ---------------------------------------------------------------------------
+# index maintenance and persistence
+# ---------------------------------------------------------------------------
+class TestIndexMaintenance:
+    def test_signature_postings_tracked(self):
+        segments = [
+            signed(SegmentMetadata(), PALETTE[0]),
+            SegmentMetadata(),
+            signed(SegmentMetadata(), PALETTE[1]),
+        ]
+        system = PictureRetrievalSystem(segments)
+        assert system.index.segments_with_signature() == (1, 3)
+        assert system.index.stats()["pools"]["signature_segments"] == 2
+
+    def test_append_maintains_signature_postings(self):
+        initial = [signed(SegmentMetadata(), PALETTE[0]), SegmentMetadata()]
+        appended = [
+            SegmentMetadata(),
+            signed(SegmentMetadata(), PALETTE[1]),
+        ]
+        incremental = PictureRetrievalSystem(list(initial))
+        incremental.append_segments(appended)
+        fresh = PictureRetrievalSystem(initial + appended)
+        assert incremental.index.segments_with_signature() == (1, 4)
+        atom = looks_like_atom([PALETTE[0], PALETTE[1]], 0.6)
+        assert incremental.similarity_list(atom, use_index=True) == (
+            fresh.similarity_list(atom, use_index=True)
+        )
+
+    def test_segment_roundtrips_with_signature(self):
+        segment = signed(
+            SegmentMetadata(objects=[make_object("o1", "person")]),
+            PALETTE[0],
+        )
+        restored = segment_from_dict(segment_to_dict(segment))
+        assert restored.signature == segment.signature
+        plain = segment_from_dict(segment_to_dict(SegmentMetadata()))
+        assert plain.signature is None
+
+    def test_corrupt_signature_payloads_rejected(self):
+        with pytest.raises(ModelError, match="list of numbers"):
+            segment_from_dict({"signature": "deadbeef"})
+        with pytest.raises(MetadataError, match="finite non-negative"):
+            segment_from_dict({"signature": [0.5, -0.1]})
+        with pytest.raises(MetadataError, match="finite non-negative"):
+            segment_from_dict({"signature": [0.5, math.nan]})
+        with pytest.raises(MetadataError, match="at least one bin"):
+            segment_from_dict({"signature": []})
